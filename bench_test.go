@@ -1,0 +1,166 @@
+package agilepkgc_test
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// runs the corresponding experiment end to end and reports the headline
+// quantity as a custom metric, so `go test -bench=. -benchmem` both
+// exercises the harness and prints the reproduced results:
+//
+//	BenchmarkTable1  — watts per package C-state, PC6/PC1A speedup
+//	BenchmarkTable2  — state-availability matrix
+//	BenchmarkSec54   — component power deltas
+//	BenchmarkSec55   — PC1A transition latency
+//	BenchmarkEq1     — analytic savings model
+//	BenchmarkFig5    — Cshallow vs Cdeep latency
+//	BenchmarkFig6    — PC1A opportunity
+//	BenchmarkFig7    — PC1A savings and impact
+//	BenchmarkFig8    — MySQL
+//	BenchmarkFig9    — Kafka
+//	BenchmarkArea    — die-area budget
+
+import (
+	"testing"
+
+	"agilepkgc/internal/experiments"
+	"agilepkgc/internal/sim"
+)
+
+// benchOptions keeps per-iteration virtual time moderate so the full
+// bench suite completes quickly while still exercising every flow.
+func benchOptions() experiments.Options {
+	return experiments.Options{Duration: 100 * sim.Millisecond, Seed: 1}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table1(benchOptions())
+	}
+	b.ReportMetric(r.PC1ASoC, "PC1A-SoC-W")
+	b.ReportMetric(r.PC0IdleSoC, "PC0idle-SoC-W")
+	b.ReportMetric(r.Speedup(), "PC6/PC1A-speedup-x")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(experiments.Table2(benchOptions()).Rows)
+	}
+	b.ReportMetric(float64(rows), "states")
+}
+
+func BenchmarkSec54(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.Sec54Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Sec54(benchOptions())
+	}
+	b.ReportMetric(r.PcoresDiff, "Pcores-diff-W")
+	b.ReportMetric(r.PIOsDiff, "PIOs-diff-W")
+	b.ReportMetric(r.PsocPC1A, "Psoc-PC1A-W")
+}
+
+func BenchmarkSec55(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.Sec55Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Sec55(benchOptions())
+	}
+	b.ReportMetric(float64(r.Total), "PC1A-entry+exit-ns")
+	b.ReportMetric(r.Speedup, "speedup-x")
+}
+
+func BenchmarkEq1(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.Eq1Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Eq1(benchOptions())
+	}
+	b.ReportMetric(r.Idle.SavingsFrac*100, "idle-savings-%")
+	b.ReportMetric(r.At5pct.SavingsFrac*100, "savings@5%-%")
+}
+
+func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig5(benchOptions(), []float64{4000, 50000, 300000})
+	}
+	low := r.Points[0]
+	b.ReportMetric(low.DeepMean/low.ShallowMean, "Cdeep/Cshallow-mean@4K-x")
+	hi := r.Points[2]
+	b.ReportMetric(hi.DeepP99/hi.ShallowP99, "Cdeep/Cshallow-p99@300K-x")
+}
+
+func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig6(benchOptions(), []float64{4000, 50000})
+	}
+	b.ReportMetric(r.Points[0].AllIdleCensored*100, "PC1A-opportunity@4K-%")
+	b.ReportMetric(r.Points[1].AllIdleCensored*100, "PC1A-opportunity@50K-%")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig7(benchOptions(), []float64{4000, 50000})
+	}
+	b.ReportMetric(r.Idle.SavingsVsShallow*100, "idle-savings-%")
+	b.ReportMetric(r.Points[0].SavingsFrac*100, "savings@4K-%")
+	b.ReportMetric(r.Points[1].SavingsFrac*100, "savings@50K-%")
+	b.ReportMetric(r.Points[1].ImpactFrac*100, "latency-impact@50K-%")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.WorkloadResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig8(benchOptions())
+	}
+	b.ReportMetric(r.Points[0].PowerReduction*100, "reduction@low-%")
+	b.ReportMetric(r.Points[len(r.Points)-1].PowerReduction*100, "reduction@high-%")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.WorkloadResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig9(benchOptions())
+	}
+	b.ReportMetric(r.Points[0].PowerReduction*100, "reduction@low-%")
+	b.ReportMetric(r.Points[1].PowerReduction*100, "reduction@high-%")
+}
+
+func BenchmarkSensitivity(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.SensitivityResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Sensitivity(benchOptions())
+	}
+	b.ReportMetric(r.Ablations[0].IdleSavings*100, "full-APC-idle-savings-%")
+	b.ReportMetric(float64(r.PLLOffExit)/float64(r.PLLOnExit), "PLL-relock-exit-penalty-x")
+}
+
+func BenchmarkBatchingExtension(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.BatchingResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Batching(benchOptions(), 50000, nil)
+	}
+	off, on := r.Points[0], r.Points[len(r.Points)-1]
+	b.ReportMetric(off.SavingsFrac*100, "savings-unbatched-%")
+	b.ReportMetric(on.SavingsFrac*100, "savings-batched-%")
+}
+
+func BenchmarkArea(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.AreaResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Area(experiments.DefaultAreaModel())
+	}
+	b.ReportMetric(r.Total*100, "die-area-%")
+}

@@ -1,0 +1,144 @@
+// Command apcsim regenerates the tables and figures of the AgilePkgC
+// paper (MICRO 2022) from the simulator.
+//
+// Usage:
+//
+//	apcsim [-duration 2s] [-seed 1] [-csv dir] <experiment>...
+//	apcsim all
+//
+// Experiments: table1 table2 sec54 sec55 eq1 fig5 fig6 fig7 fig8 fig9
+// area sensitivity batching remote all
+//
+// With -csv, experiments that produce data series additionally write
+// <dir>/<experiment>.csv for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"agilepkgc/internal/experiments"
+	"agilepkgc/internal/sim"
+)
+
+var experimentOrder = []string{
+	"table1", "table2", "sec54", "sec55", "eq1",
+	"fig5", "fig6", "fig7", "fig8", "fig9", "area", "sensitivity", "batching", "remote",
+}
+
+// result bundles an experiment's text report with its optional CSV
+// exporter.
+type result struct {
+	report string
+	csv    experiments.CSVWriter
+}
+
+var runners = map[string]func(experiments.Options) result{
+	"table1": func(o experiments.Options) result { return result{report: experiments.Table1(o).String()} },
+	"table2": func(o experiments.Options) result { return result{report: experiments.Table2(o).String()} },
+	"sec54":  func(o experiments.Options) result { return result{report: experiments.Sec54(o).String()} },
+	"sec55":  func(o experiments.Options) result { return result{report: experiments.Sec55(o).String()} },
+	"eq1":    func(o experiments.Options) result { return result{report: experiments.Eq1(o).String()} },
+	"fig5": func(o experiments.Options) result {
+		r := experiments.Fig5(o, nil)
+		return result{report: r.String(), csv: r}
+	},
+	"fig6": func(o experiments.Options) result {
+		r := experiments.Fig6(o, nil)
+		return result{report: r.String(), csv: r}
+	},
+	"fig7": func(o experiments.Options) result {
+		r := experiments.Fig7(o, nil)
+		return result{report: r.String(), csv: r}
+	},
+	"fig8": func(o experiments.Options) result {
+		r := experiments.Fig8(o)
+		return result{report: r.String(), csv: r}
+	},
+	"fig9": func(o experiments.Options) result {
+		r := experiments.Fig9(o)
+		return result{report: r.String(), csv: r}
+	},
+	"area": func(o experiments.Options) result {
+		return result{report: experiments.Area(experiments.DefaultAreaModel()).String()}
+	},
+	"sensitivity": func(o experiments.Options) result {
+		return result{report: experiments.Sensitivity(o).String()}
+	},
+	"batching": func(o experiments.Options) result {
+		r := experiments.Batching(o, 0, nil)
+		return result{report: r.String(), csv: r}
+	},
+	"remote": func(o experiments.Options) result {
+		r := experiments.Remote(o, 0, nil)
+		return result{report: r.String(), csv: r}
+	},
+}
+
+func main() {
+	duration := flag.Duration("duration", 2*time.Second,
+		"virtual measurement window per operating point")
+	seed := flag.Uint64("seed", 1, "random seed for all generators")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSV series into")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: apcsim [flags] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v all\n", experimentOrder)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = experimentOrder
+	}
+
+	opt := experiments.Options{
+		Duration: sim.Duration(duration.Nanoseconds()),
+		Seed:     *seed,
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "apcsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, name := range args {
+		runner, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "apcsim: unknown experiment %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+		start := time.Now()
+		res := runner(opt)
+		fmt.Println(res.report)
+		fmt.Printf("[%s completed in %v wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
+
+		if *csvDir != "" && res.csv != nil {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := writeCSVFile(path, res.csv); err != nil {
+				fmt.Fprintf(os.Stderr, "apcsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[wrote %s]\n\n", path)
+		}
+	}
+}
+
+func writeCSVFile(path string, w experiments.CSVWriter) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return w.WriteCSV(f)
+}

@@ -1,0 +1,111 @@
+// Command apctop is a powertop-style observer for the simulated server:
+// it runs a workload on a chosen configuration and reports per-interval
+// power and residency — reading *only* the emulated RAPL MSRs and
+// residency counters (internal/msr), the same interface the real tools
+// use, rather than the simulator's native accounting.
+//
+// Usage:
+//
+//	apctop [-config cpc1a|cshallow|cdeep] [-qps 20000] [-intervals 10]
+//	       [-interval 100ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"agilepkgc/internal/msr"
+	"agilepkgc/internal/pmu"
+	"agilepkgc/internal/server"
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/workload"
+)
+
+func main() {
+	configName := flag.String("config", "cpc1a", "system configuration: cshallow, cdeep, cpc1a")
+	qps := flag.Float64("qps", 20000, "memcached request rate (0 = idle)")
+	intervals := flag.Int("intervals", 10, "number of reporting intervals")
+	interval := flag.Duration("interval", 100*time.Millisecond, "virtual time per interval")
+	flag.Parse()
+
+	var kind soc.ConfigKind
+	switch strings.ToLower(*configName) {
+	case "cshallow":
+		kind = soc.Cshallow
+	case "cdeep":
+		kind = soc.Cdeep
+	case "cpc1a":
+		kind = soc.CPC1A
+	default:
+		fmt.Fprintf(os.Stderr, "apctop: unknown config %q\n", *configName)
+		os.Exit(2)
+	}
+
+	sys := soc.New(soc.DefaultConfig(kind))
+	mon := msr.NewMonitor(sys)
+	var srv *server.Server
+	if *qps > 0 {
+		srv = server.New(sys, server.DefaultConfig(), workload.Memcached(*qps))
+	}
+
+	read := func(addr uint32, core int) uint64 {
+		v, err := mon.Read(addr, core)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apctop: %v\n", err)
+			os.Exit(1)
+		}
+		return v
+	}
+
+	fmt.Printf("apctop: %s, %s, %.0f QPS, %d x %v intervals\n\n",
+		kind, sys.Cores[0].Governor(), *qps, *intervals, *interval)
+	fmt.Println("interval   pkg-W    dram-W   CC1-res%   PC1A-res%  served")
+
+	dt := sim.Duration((*interval).Nanoseconds())
+	var servedPrev uint64
+	for i := 0; i < *intervals; i++ {
+		pkg0 := read(msr.MSRPkgEnergyStatus, 0)
+		dram0 := read(msr.MSRDramEnergyStatus, 0)
+		var cc10 uint64
+		for c := range sys.Cores {
+			cc10 += read(msr.MSRCoreC1Residency, c)
+		}
+		pc1a0 := sim.Duration(0)
+		if sys.APMU != nil {
+			pc1a0 = sys.APMU.Residency(pmu.PC1A)
+		}
+
+		if srv != nil {
+			srv.Run(dt)
+		} else {
+			sys.Engine.Run(sys.Engine.Now() + dt)
+		}
+
+		pkg1 := read(msr.MSRPkgEnergyStatus, 0)
+		dram1 := read(msr.MSRDramEnergyStatus, 0)
+		var cc11 uint64
+		for c := range sys.Cores {
+			cc11 += read(msr.MSRCoreC1Residency, c)
+		}
+		wall := dt.Seconds()
+		pkgW := msr.EnergyDelta(pkg0, pkg1) / wall
+		dramW := msr.EnergyDelta(dram0, dram1) / wall
+		cc1Res := float64(cc11-cc10) / msr.TSCHz / wall / float64(len(sys.Cores))
+
+		pc1aRes := 0.0
+		if sys.APMU != nil {
+			pc1aRes = (sys.APMU.Residency(pmu.PC1A) - pc1a0).Seconds() / wall
+		}
+		served := uint64(0)
+		if srv != nil {
+			served = srv.Served() - servedPrev
+			servedPrev = srv.Served()
+		}
+		fmt.Printf("%-9d  %6.2f   %6.2f   %7.1f    %7.1f    %d\n",
+			i, pkgW, dramW, cc1Res*100, pc1aRes*100, served)
+	}
+}

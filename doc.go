@@ -1,0 +1,11 @@
+// Package agilepkgc is a discrete-event simulation reproduction of
+// "AgilePkgC: An Agile System Idle State Architecture for Energy
+// Proportional Datacenter Servers" (MICRO 2022).
+//
+// The library models a Skylake-class server SoC (cores and C-states, IO
+// links and L-states, DRAM power modes, FIVR power delivery, PLL clocking)
+// plus the paper's contribution — the APMU hardware FSM implementing the
+// PC1A agile package C-state — and regenerates every table and figure of
+// the paper's evaluation. See README.md for a tour and DESIGN.md for the
+// architecture and calibration.
+package agilepkgc

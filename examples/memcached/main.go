@@ -1,0 +1,63 @@
+// Memcached sweep: the paper's headline experiment. Serve the ETC-style
+// key-value workload across the low-load band on the Cshallow baseline
+// and the CPC1A system, and report power savings and latency impact —
+// the data behind paper Fig. 7.
+package main
+
+import (
+	"fmt"
+
+	"agilepkgc/internal/pmu"
+	"agilepkgc/internal/server"
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/workload"
+)
+
+func main() {
+	const window = 500 * sim.Millisecond
+	fmt.Println("QPS     Cshallow    C_PC1A     saving   PC1A-res   mean-lat-impact")
+
+	for _, qps := range []float64{0, 4000, 10000, 20000, 50000, 100000} {
+		shW, shLat := run(soc.Cshallow, qps, window)
+		apW, apLat := run(soc.CPC1A, qps, window)
+		saving := (shW - apW) / shW
+
+		// PC1A residency needs its own instrumented run.
+		res := pc1aResidency(qps, window)
+
+		impact := "-"
+		if qps > 0 {
+			impact = fmt.Sprintf("%+.4f%%", (apLat-shLat)/shLat*100)
+		}
+		fmt.Printf("%-6.0f  %6.1fW     %6.1fW    %5.1f%%   %5.1f%%     %s\n",
+			qps, shW, apW, saving*100, res*100, impact)
+	}
+}
+
+// run serves Memcached at qps on a fresh system and returns average
+// SoC+DRAM watts and mean latency.
+func run(kind soc.ConfigKind, qps float64, window sim.Duration) (watts, meanLat float64) {
+	sys := soc.New(soc.DefaultConfig(kind))
+	if qps == 0 {
+		snap := sys.Meter.Snapshot()
+		sys.Engine.Run(window)
+		return snap.AverageTotal(), 0
+	}
+	srv := server.New(sys, server.DefaultConfig(), workload.Memcached(qps))
+	srv.Run(window / 5) // warmup
+	snap := sys.Meter.Snapshot()
+	srv.Run(window)
+	return snap.AverageTotal(), srv.Latencies().Mean()
+}
+
+func pc1aResidency(qps float64, window sim.Duration) float64 {
+	sys := soc.New(soc.DefaultConfig(soc.CPC1A))
+	if qps > 0 {
+		srv := server.New(sys, server.DefaultConfig(), workload.Memcached(qps))
+		srv.Run(window)
+	} else {
+		sys.Engine.Run(window)
+	}
+	return float64(sys.APMU.Residency(pmu.PC1A)) / float64(sys.Engine.Now())
+}

@@ -1,0 +1,40 @@
+// Quickstart: assemble an AgilePkgC (CPC1A) server, let it idle into
+// PC1A, then drive a burst of Memcached load and watch the package
+// C-state, power and latency respond.
+package main
+
+import (
+	"fmt"
+
+	"agilepkgc/internal/pmu"
+	"agilepkgc/internal/server"
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/workload"
+)
+
+func main() {
+	// A 10-core Skylake-class server with the APC architecture.
+	sys := soc.New(soc.DefaultConfig(soc.CPC1A))
+
+	// Let it idle: all cores sit in CC1, so the APMU drops the package
+	// into PC1A within tens of nanoseconds.
+	sys.Engine.Run(10 * sim.Millisecond)
+	fmt.Printf("after 10ms idle:   state=%-5v  SoC=%5.1fW  DRAM=%4.2fW\n",
+		sys.PackageState(), sys.SoCPower(), sys.DRAMPower())
+	fmt.Printf("PC1A residency so far: %.1f%%\n",
+		100*float64(sys.APMU.Residency(pmu.PC1A))/float64(sys.Engine.Now()))
+
+	// Now serve Memcached at 50K QPS for 200ms of virtual time.
+	srv := server.New(sys, server.DefaultConfig(), workload.Memcached(50000))
+	snap := sys.Meter.Snapshot()
+	srv.Run(200 * sim.Millisecond)
+
+	fmt.Printf("\nafter 200ms at 50K QPS:\n")
+	fmt.Printf("  served:        %d requests\n", srv.Served())
+	fmt.Printf("  mean latency:  %.1fus (incl. 117us network)\n", srv.Latencies().Mean()*1e6)
+	fmt.Printf("  p99 latency:   %.1fus\n", srv.Latencies().Quantile(0.99)*1e6)
+	fmt.Printf("  avg power:     %.1fW (SoC+DRAM)\n", snap.AverageTotal())
+	fmt.Printf("  PC1A entries:  %d\n", sys.APMU.Entries(pmu.PC1A))
+	fmt.Printf("  state now:     %v (drained back to idle)\n", sys.PackageState())
+}

@@ -1,0 +1,476 @@
+// Package cpu models the CPU cores of the server SoC: core C-states
+// (CC0 active, CC1/CC1E shallow idle, CC6 deep idle) with their exit
+// latencies and per-state power, the per-core power management agent
+// (PMA) that exposes the InCC1 status wire, OS idle governors (the
+// datacenter shallow-only policy and a Linux-menu-like predictive
+// policy), and P-state/frequency policies (performance vs powersave).
+package cpu
+
+import (
+	"fmt"
+
+	"agilepkgc/internal/power"
+	"agilepkgc/internal/signal"
+	"agilepkgc/internal/sim"
+)
+
+// CState enumerates core C-states. Higher is deeper.
+type CState int
+
+const (
+	// CC0: executing instructions.
+	CC0 CState = iota
+	// CC1: clock-gated halt; the only idle state datacenter configs
+	// leave enabled.
+	CC1
+	// CC1E: CC1 with reduced frequency/voltage.
+	CC1E
+	// CC6: power-gated; caches flushed. ~133 µs transition.
+	CC6
+)
+
+// String names the state.
+func (s CState) String() string {
+	switch s {
+	case CC0:
+		return "CC0"
+	case CC1:
+		return "CC1"
+	case CC1E:
+		return "CC1E"
+	case CC6:
+		return "CC6"
+	default:
+		return fmt.Sprintf("CState(%d)", int(s))
+	}
+}
+
+// Idle reports whether the state is an idle state (CC1 or deeper).
+func (s CState) Idle() bool { return s > CC0 }
+
+// Params collects per-core timing and power parameters.
+type Params struct {
+	// Exit latencies (entry costs are folded into exit, as the paper
+	// and Linux cpuidle tables do).
+	CC1Exit  sim.Duration
+	CC1EExit sim.Duration
+	CC6Exit  sim.Duration
+
+	// Per-state power at nominal frequency. CC0 power scales linearly
+	// with frequency.
+	CC0Watts  float64
+	CC1Watts  float64
+	CC1EWatts float64
+	CC6Watts  float64
+
+	// NominalGHz is the frequency work durations are expressed at.
+	NominalGHz float64
+
+	// IdleEntryDelay models the kernel idle-entry path: after the run
+	// queue empties the core stays in CC0 this long (governor
+	// selection, residency bookkeeping) before the C-state is entered.
+	// New work during the window cancels idle entry with no exit cost.
+	IdleEntryDelay sim.Duration
+}
+
+// DefaultParams returns the SKX-calibrated core parameters (DESIGN.md):
+// CC6 exit 133 µs (paper Sec. 3.1), CC1 exit 2 µs, power ladder
+// 5.35 / 1.25 / 0.04 W to reproduce the paper's Sec. 5.4 deltas.
+func DefaultParams() Params {
+	return Params{
+		CC1Exit:        2 * sim.Microsecond,
+		CC1EExit:       10 * sim.Microsecond,
+		CC6Exit:        133 * sim.Microsecond,
+		CC0Watts:       5.35,
+		CC1Watts:       1.25,
+		CC1EWatts:      0.90,
+		CC6Watts:       0.04,
+		NominalGHz:     2.2,
+		IdleEntryDelay: 1 * sim.Microsecond,
+	}
+}
+
+// ExitLatency returns the exit latency of a state.
+func (p Params) ExitLatency(s CState) sim.Duration {
+	switch s {
+	case CC1:
+		return p.CC1Exit
+	case CC1E:
+		return p.CC1EExit
+	case CC6:
+		return p.CC6Exit
+	default:
+		return 0
+	}
+}
+
+// StateWatts returns the state's power at nominal frequency.
+func (p Params) StateWatts(s CState) float64 {
+	switch s {
+	case CC0:
+		return p.CC0Watts
+	case CC1:
+		return p.CC1Watts
+	case CC1E:
+		return p.CC1EWatts
+	case CC6:
+		return p.CC6Watts
+	default:
+		return 0
+	}
+}
+
+// Governor selects the C-state for an idle episode — the OS cpuidle
+// governor.
+type Governor interface {
+	// ChooseIdleState is called when the core's run queue empties.
+	ChooseIdleState() CState
+	// RecordIdle reports the length of a completed idle episode, for
+	// predictive governors.
+	RecordIdle(d sim.Duration)
+	String() string
+}
+
+// ShallowGovernor always picks CC1 — the recommended datacenter
+// configuration (Cshallow baseline): deep states disabled to protect
+// tail latency.
+type ShallowGovernor struct{}
+
+// ChooseIdleState always returns CC1.
+func (ShallowGovernor) ChooseIdleState() CState { return CC1 }
+
+// RecordIdle is a no-op.
+func (ShallowGovernor) RecordIdle(sim.Duration) {}
+
+func (ShallowGovernor) String() string { return "shallow(CC1-only)" }
+
+// MenuGovernor is a simplified Linux-menu-style predictive governor used
+// by the Cdeep baseline: it predicts the next idle length with an EWMA of
+// recent idle episodes and picks the deepest state whose target residency
+// fits the prediction.
+type MenuGovernor struct {
+	// Target residencies: minimum predicted idle to justify the state.
+	CC1ETarget sim.Duration
+	CC6Target  sim.Duration
+
+	ewma float64 // nanoseconds
+	seen bool
+}
+
+// NewMenuGovernor returns a menu governor with SKX-like target
+// residencies (Linux intel_idle: C1E 20 µs, C6 600 µs).
+func NewMenuGovernor() *MenuGovernor {
+	return &MenuGovernor{
+		CC1ETarget: 20 * sim.Microsecond,
+		CC6Target:  600 * sim.Microsecond,
+	}
+}
+
+// ChooseIdleState picks from the EWMA prediction. With no history it
+// starts optimistic (deep), as an idle server boots into long idleness.
+func (g *MenuGovernor) ChooseIdleState() CState {
+	if !g.seen {
+		return CC6
+	}
+	pred := sim.Duration(g.ewma)
+	switch {
+	case pred >= g.CC6Target:
+		return CC6
+	case pred >= g.CC1ETarget:
+		return CC1E
+	default:
+		return CC1
+	}
+}
+
+// RecordIdle folds a completed idle episode into the EWMA.
+func (g *MenuGovernor) RecordIdle(d sim.Duration) {
+	const alpha = 0.3
+	if !g.seen {
+		g.ewma = float64(d)
+		g.seen = true
+		return
+	}
+	g.ewma = alpha*float64(d) + (1-alpha)*g.ewma
+}
+
+func (g *MenuGovernor) String() string { return "menu(predictive)" }
+
+// FreqPolicy models the P-state governor. The paper disables DVFS but
+// contrasts the `performance` governor (Cshallow: pinned at nominal) with
+// `powersave` (Cdeep: frequency follows utilization).
+type FreqPolicy interface {
+	// GHz returns the frequency for the next work item.
+	GHz() float64
+	// OnBusyFraction feeds the policy the core's recent busy fraction.
+	OnBusyFraction(u float64)
+	String() string
+}
+
+// PerformancePolicy pins the nominal frequency.
+type PerformancePolicy struct{ Nominal float64 }
+
+// GHz returns the pinned frequency.
+func (p PerformancePolicy) GHz() float64 { return p.Nominal }
+
+// OnBusyFraction is a no-op.
+func (p PerformancePolicy) OnBusyFraction(float64) {}
+
+func (p PerformancePolicy) String() string { return fmt.Sprintf("performance(%.1fGHz)", p.Nominal) }
+
+// PowersavePolicy scales frequency with an EWMA of the busy fraction
+// between Min and Max GHz — the intel_pstate powersave shape: a lightly
+// loaded server runs near minimum frequency.
+type PowersavePolicy struct {
+	Min, Max float64
+	util     float64
+}
+
+// GHz interpolates on utilization.
+func (p *PowersavePolicy) GHz() float64 { return p.Min + (p.Max-p.Min)*p.util }
+
+// OnBusyFraction updates the utilization EWMA.
+func (p *PowersavePolicy) OnBusyFraction(u float64) {
+	const alpha = 0.2
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	p.util = alpha*u + (1-alpha)*p.util
+}
+
+func (p *PowersavePolicy) String() string {
+	return fmt.Sprintf("powersave(%.1f-%.1fGHz)", p.Min, p.Max)
+}
+
+// Work is one unit of execution for a core.
+type Work struct {
+	// Duration is the service time at nominal frequency.
+	Duration sim.Duration
+	// OnStart fires when the core begins executing the work (after any
+	// C-state exit latency).
+	OnStart func()
+	// OnDone fires when the work completes.
+	OnDone func()
+}
+
+// Core is one CPU core.
+type Core struct {
+	eng      *sim.Engine
+	id       int
+	params   Params
+	governor Governor
+	freq     FreqPolicy
+
+	state CState
+	queue []Work
+
+	// inIdle is the PMA's InCC1 status wire: high when the core is in
+	// CC1 or deeper. It drops the moment a wake begins.
+	inIdle *signal.Signal
+
+	idleEntry *sim.Event // pending idle-entry (kernel path) event
+	wakeEv    *sim.Event // pending C-state exit completion
+	workEv    *sim.Event // pending work completion
+
+	idleStart  sim.Time
+	busyStart  sim.Time
+	lastWindow sim.Time // utilization window anchor
+	busyInWin  sim.Duration
+
+	ch *power.Channel
+
+	onTransition []func(old, new CState)
+
+	// Counters.
+	wakes      [4]uint64 // indexed by the state woken from
+	workDone   uint64
+	interrupts uint64
+}
+
+// NewCore builds a core idling in CC1 (a freshly booted idle system).
+// ch may be nil.
+func NewCore(eng *sim.Engine, id int, p Params, gov Governor, freq FreqPolicy, ch *power.Channel) *Core {
+	c := &Core{
+		eng:      eng,
+		id:       id,
+		params:   p,
+		governor: gov,
+		freq:     freq,
+		state:    CC1,
+		inIdle:   signal.New(fmt.Sprintf("core%d.InCC1", id), true),
+		ch:       ch,
+	}
+	if ch != nil {
+		ch.Set(p.CC1Watts)
+	}
+	return c
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// State returns the current C-state.
+func (c *Core) State() CState { return c.state }
+
+// InCC1 returns the PMA status wire (high in CC1 or deeper).
+func (c *Core) InCC1() *signal.Signal { return c.inIdle }
+
+// QueueLen returns the number of queued (not yet started) work items.
+func (c *Core) QueueLen() int { return len(c.queue) }
+
+// Busy reports whether the core is executing or waking to execute.
+func (c *Core) Busy() bool { return c.state == CC0 || c.wakeEv.Pending() }
+
+// WorkDone returns the number of completed work items.
+func (c *Core) WorkDone() uint64 { return c.workDone }
+
+// Wakes returns the number of wakes from the given state.
+func (c *Core) Wakes(from CState) uint64 { return c.wakes[from] }
+
+// Governor returns the core's idle governor.
+func (c *Core) Governor() Governor { return c.governor }
+
+// FreqPolicy returns the core's frequency policy.
+func (c *Core) FreqPolicy() FreqPolicy { return c.freq }
+
+// OnTransition registers a callback for every C-state change.
+func (c *Core) OnTransition(fn func(old, new CState)) {
+	c.onTransition = append(c.onTransition, fn)
+}
+
+func (c *Core) setState(s CState) {
+	if s == c.state {
+		return
+	}
+	old := c.state
+	c.state = s
+	if c.ch != nil {
+		w := c.params.StateWatts(s)
+		if s == CC0 {
+			// Dynamic power scales with frequency.
+			w = c.params.CC0Watts * c.freq.GHz() / c.params.NominalGHz
+		}
+		c.ch.Set(w)
+	}
+	c.inIdle.SetLevel(s.Idle())
+	for _, fn := range c.onTransition {
+		fn(old, s)
+	}
+}
+
+// Enqueue adds work to the core's run queue, waking it if idle. This is
+// the path a NIC interrupt + softirq takes to hand a request to the
+// pinned application thread.
+func (c *Core) Enqueue(w Work) {
+	c.queue = append(c.queue, w)
+	c.maybeStart()
+}
+
+// WakeInterrupt wakes the core with no associated work (timer interrupt,
+// IPI). The core executes the kernel interrupt path (a short burst of
+// CC0) and then re-enters idle.
+func (c *Core) WakeInterrupt(kernelTime sim.Duration) {
+	c.interrupts++
+	c.Enqueue(Work{Duration: kernelTime})
+}
+
+// maybeStart begins waking or executing if there is work and the core is
+// not already doing either.
+func (c *Core) maybeStart() {
+	if len(c.queue) == 0 || c.workEv.Pending() || c.wakeEv.Pending() {
+		return
+	}
+	// Cancel a pending idle entry: the kernel path was preempted before
+	// the C-state was entered, so there is no exit cost.
+	if c.idleEntry.Pending() {
+		c.idleEntry.Cancel()
+		c.idleEntry = nil
+	}
+	if c.state.Idle() {
+		// Begin C-state exit. The InCC1 wire drops immediately: the
+		// PMA signals the wake as it starts, which is what lets the
+		// package exit flow run concurrently with the core wake.
+		from := c.state
+		c.governor.RecordIdle(c.eng.Now() - c.idleStart)
+		c.wakes[from]++
+		c.inIdle.Unset()
+		c.wakeEv = c.eng.Schedule(c.params.ExitLatency(from), func() {
+			c.wakeEv = nil
+			c.setState(CC0)
+			c.beginWork()
+		})
+		return
+	}
+	// Already in CC0 (between work items or in the idle-entry window).
+	c.beginWork()
+}
+
+// beginWork starts the next queued item; the core must be in CC0.
+func (c *Core) beginWork() {
+	if c.state != CC0 {
+		c.setState(CC0)
+	}
+	w := c.queue[0]
+	c.queue = c.queue[1:]
+	c.busyStart = c.eng.Now()
+	if w.OnStart != nil {
+		w.OnStart()
+	}
+	// Scale duration by current frequency.
+	ghz := c.freq.GHz()
+	scaled := sim.Duration(float64(w.Duration) * c.params.NominalGHz / ghz)
+	if c.ch != nil {
+		c.ch.Set(c.params.CC0Watts * ghz / c.params.NominalGHz)
+	}
+	c.workEv = c.eng.Schedule(scaled, func() {
+		c.workEv = nil
+		c.workDone++
+		c.noteBusy(c.eng.Now() - c.busyStart)
+		if w.OnDone != nil {
+			w.OnDone()
+		}
+		if len(c.queue) > 0 {
+			c.beginWork()
+			return
+		}
+		c.armIdleEntry()
+	})
+}
+
+// armIdleEntry schedules the kernel idle-entry path.
+func (c *Core) armIdleEntry() {
+	if c.params.IdleEntryDelay == 0 {
+		c.enterIdle()
+		return
+	}
+	c.idleEntry = c.eng.Schedule(c.params.IdleEntryDelay, func() {
+		c.idleEntry = nil
+		c.enterIdle()
+	})
+}
+
+func (c *Core) enterIdle() {
+	if len(c.queue) > 0 {
+		c.maybeStart()
+		return
+	}
+	target := c.governor.ChooseIdleState()
+	c.idleStart = c.eng.Now()
+	c.setState(target)
+}
+
+// noteBusy updates the utilization estimate fed to the frequency policy,
+// over 1 ms windows.
+func (c *Core) noteBusy(d sim.Duration) {
+	c.busyInWin += d
+	const window = sim.Millisecond
+	if c.eng.Now()-c.lastWindow >= window {
+		u := float64(c.busyInWin) / float64(c.eng.Now()-c.lastWindow)
+		c.freq.OnBusyFraction(u)
+		c.lastWindow = c.eng.Now()
+		c.busyInWin = 0
+	}
+}

@@ -1,0 +1,171 @@
+package cpu
+
+import (
+	"fmt"
+
+	"agilepkgc/internal/sim"
+)
+
+// LadderGovernor is a Linux-ladder-style stepwise governor: it promotes
+// to the next deeper C-state after several consecutive idle episodes
+// longer than the current state's promotion threshold, and demotes
+// immediately after an episode shorter than the demotion threshold. It
+// reacts slower than menu but is robust to noisy idle-length
+// distributions — the historical default for periodic-tick kernels.
+type LadderGovernor struct {
+	// PromoteAfter is the number of consecutive long idles required to
+	// go deeper.
+	PromoteAfter int
+
+	// Thresholds per rung (indexed by CState).
+	promoteThresh map[CState]sim.Duration
+	demoteThresh  map[CState]sim.Duration
+
+	current CState
+	streak  int
+}
+
+// NewLadderGovernor returns a ladder with SKX-appropriate rungs.
+func NewLadderGovernor() *LadderGovernor {
+	return &LadderGovernor{
+		PromoteAfter: 4,
+		promoteThresh: map[CState]sim.Duration{
+			CC1:  40 * sim.Microsecond,  // long enough to justify CC1E
+			CC1E: 800 * sim.Microsecond, // long enough to justify CC6
+		},
+		demoteThresh: map[CState]sim.Duration{
+			CC1E: 15 * sim.Microsecond,
+			CC6:  300 * sim.Microsecond,
+		},
+		current: CC1,
+	}
+}
+
+// ChooseIdleState returns the current rung.
+func (g *LadderGovernor) ChooseIdleState() CState { return g.current }
+
+// RecordIdle climbs or falls the ladder.
+func (g *LadderGovernor) RecordIdle(d sim.Duration) {
+	// Demotion: one short episode is enough.
+	if th, ok := g.demoteThresh[g.current]; ok && d < th {
+		g.current = demote(g.current)
+		g.streak = 0
+		return
+	}
+	// Promotion: several long episodes.
+	th, ok := g.promoteThresh[g.current]
+	if !ok || d < th {
+		g.streak = 0
+		return
+	}
+	g.streak++
+	if g.streak >= g.PromoteAfter {
+		g.current = promote(g.current)
+		g.streak = 0
+	}
+}
+
+func promote(s CState) CState {
+	switch s {
+	case CC1:
+		return CC1E
+	case CC1E:
+		return CC6
+	default:
+		return s
+	}
+}
+
+func demote(s CState) CState {
+	switch s {
+	case CC6:
+		return CC1E
+	case CC1E:
+		return CC1
+	default:
+		return s
+	}
+}
+
+func (g *LadderGovernor) String() string { return "ladder(stepwise)" }
+
+// TimerHintGovernor models a tickless kernel's key advantage: the OS
+// *knows* the next timer expiration, so the idle-length prediction is
+// the minimum of that bound and the EWMA of interrupt-driven idles. The
+// caller supplies the next-timer distance via SetNextTimer before the
+// core idles (the server model calls it with the next scheduled event).
+type TimerHintGovernor struct {
+	CC1ETarget sim.Duration
+	CC6Target  sim.Duration
+
+	nextTimer sim.Duration
+	ewma      float64
+	seen      bool
+}
+
+// NewTimerHintGovernor returns a hint-aware governor with the same
+// targets as the menu governor.
+func NewTimerHintGovernor() *TimerHintGovernor {
+	return &TimerHintGovernor{
+		CC1ETarget: 20 * sim.Microsecond,
+		CC6Target:  600 * sim.Microsecond,
+		nextTimer:  sim.Duration(1 << 62),
+	}
+}
+
+// SetNextTimer provides the upper bound on the coming idle period.
+func (g *TimerHintGovernor) SetNextTimer(d sim.Duration) { g.nextTimer = d }
+
+// ChooseIdleState predicts min(timer bound, EWMA).
+func (g *TimerHintGovernor) ChooseIdleState() CState {
+	pred := g.nextTimer
+	if g.seen && sim.Duration(g.ewma) < pred {
+		pred = sim.Duration(g.ewma)
+	}
+	switch {
+	case pred >= g.CC6Target:
+		return CC6
+	case pred >= g.CC1ETarget:
+		return CC1E
+	default:
+		return CC1
+	}
+}
+
+// RecordIdle folds the observed idle length into the EWMA.
+func (g *TimerHintGovernor) RecordIdle(d sim.Duration) {
+	const alpha = 0.3
+	if !g.seen {
+		g.ewma = float64(d)
+		g.seen = true
+		return
+	}
+	g.ewma = alpha*float64(d) + (1-alpha)*g.ewma
+}
+
+func (g *TimerHintGovernor) String() string { return "timer-hint(tickless)" }
+
+// compile-time interface checks
+var (
+	_ Governor = (*LadderGovernor)(nil)
+	_ Governor = (*TimerHintGovernor)(nil)
+	_ Governor = ShallowGovernor{}
+	_ Governor = (*MenuGovernor)(nil)
+)
+
+// GovernorByName builds a governor from a config string — used by tools
+// and examples that select policies at the command line.
+func GovernorByName(name string) (Governor, error) {
+	switch name {
+	case "shallow":
+		return ShallowGovernor{}, nil
+	case "menu":
+		return NewMenuGovernor(), nil
+	case "ladder":
+		return NewLadderGovernor(), nil
+	case "timer-hint":
+		return NewTimerHintGovernor(), nil
+	default:
+		return nil, fmt.Errorf("cpu: unknown governor %q", name)
+	}
+}

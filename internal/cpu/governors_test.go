@@ -1,0 +1,144 @@
+package cpu
+
+import (
+	"testing"
+
+	"agilepkgc/internal/sim"
+)
+
+func TestLadderStartsShallow(t *testing.T) {
+	g := NewLadderGovernor()
+	if g.ChooseIdleState() != CC1 {
+		t.Fatal("ladder starts at CC1")
+	}
+}
+
+func TestLadderPromotion(t *testing.T) {
+	g := NewLadderGovernor()
+	// Four consecutive long idles climb one rung.
+	for i := 0; i < 4; i++ {
+		if g.ChooseIdleState() != CC1 {
+			t.Fatalf("promoted too early at %d", i)
+		}
+		g.RecordIdle(100 * sim.Microsecond)
+	}
+	if g.ChooseIdleState() != CC1E {
+		t.Fatalf("state %v after promotion streak, want CC1E", g.ChooseIdleState())
+	}
+	// Climb to CC6 with very long idles.
+	for i := 0; i < 4; i++ {
+		g.RecordIdle(2 * sim.Millisecond)
+	}
+	if g.ChooseIdleState() != CC6 {
+		t.Fatalf("state %v, want CC6", g.ChooseIdleState())
+	}
+	// CC6 is the top rung; further promotion is a no-op.
+	for i := 0; i < 8; i++ {
+		g.RecordIdle(10 * sim.Millisecond)
+	}
+	if g.ChooseIdleState() != CC6 {
+		t.Fatal("promotion past CC6")
+	}
+}
+
+func TestLadderDemotionIsImmediate(t *testing.T) {
+	g := NewLadderGovernor()
+	for i := 0; i < 8; i++ {
+		g.RecordIdle(2 * sim.Millisecond)
+	}
+	if g.ChooseIdleState() != CC6 {
+		t.Fatal("setup failed")
+	}
+	g.RecordIdle(50 * sim.Microsecond) // below CC6 demotion threshold
+	if g.ChooseIdleState() != CC1E {
+		t.Fatalf("state %v after one short idle, want CC1E", g.ChooseIdleState())
+	}
+	g.RecordIdle(5 * sim.Microsecond)
+	if g.ChooseIdleState() != CC1 {
+		t.Fatalf("state %v, want CC1", g.ChooseIdleState())
+	}
+	// CC1 is the bottom rung.
+	g.RecordIdle(sim.Microsecond)
+	if g.ChooseIdleState() != CC1 {
+		t.Fatal("demotion past CC1")
+	}
+}
+
+func TestLadderStreakResetOnShortIdle(t *testing.T) {
+	g := NewLadderGovernor()
+	g.RecordIdle(100 * sim.Microsecond)
+	g.RecordIdle(100 * sim.Microsecond)
+	g.RecordIdle(100 * sim.Microsecond)
+	g.RecordIdle(5 * sim.Microsecond) // breaks the streak
+	g.RecordIdle(100 * sim.Microsecond)
+	if g.ChooseIdleState() != CC1 {
+		t.Fatal("streak should have been reset")
+	}
+}
+
+func TestTimerHintBoundsPrediction(t *testing.T) {
+	g := NewTimerHintGovernor()
+	// No history, no timer bound: effectively deep.
+	if g.ChooseIdleState() != CC6 {
+		t.Fatal("unbounded prediction should be deep")
+	}
+	// A near timer forbids deep states regardless of history.
+	g.SetNextTimer(10 * sim.Microsecond)
+	if g.ChooseIdleState() != CC1 {
+		t.Fatal("near timer must force CC1")
+	}
+	g.SetNextTimer(100 * sim.Microsecond)
+	if g.ChooseIdleState() != CC1E {
+		t.Fatal("mid-range timer should pick CC1E")
+	}
+	g.SetNextTimer(10 * sim.Millisecond)
+	if g.ChooseIdleState() != CC6 {
+		t.Fatal("far timer should allow CC6")
+	}
+}
+
+func TestTimerHintUsesHistoryBelowTimer(t *testing.T) {
+	g := NewTimerHintGovernor()
+	g.SetNextTimer(10 * sim.Millisecond) // far timer
+	for i := 0; i < 20; i++ {
+		g.RecordIdle(30 * sim.Microsecond) // interrupts arrive early
+	}
+	if g.ChooseIdleState() != CC1E {
+		t.Fatalf("state %v: EWMA 30us should cap the far timer", g.ChooseIdleState())
+	}
+}
+
+func TestGovernorByName(t *testing.T) {
+	for _, name := range []string{"shallow", "menu", "ladder", "timer-hint"} {
+		g, err := GovernorByName(name)
+		if err != nil || g == nil {
+			t.Fatalf("GovernorByName(%q) failed: %v", name, err)
+		}
+		if g.String() == "" {
+			t.Fatalf("%q has empty description", name)
+		}
+	}
+	if _, err := GovernorByName("nope"); err == nil {
+		t.Fatal("unknown governor should error")
+	}
+}
+
+// The ladder governor drives a core end to end: alternating long idles
+// walk it deeper; the exit latency grows accordingly.
+func TestLadderOnCore(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewCore(eng, 0, DefaultParams(), NewLadderGovernor(),
+		PerformancePolicy{Nominal: 2.2}, nil)
+	// Many episodes with ~100us idle gaps → governor should settle at
+	// CC1E (promoted once, gaps too short for CC6).
+	for i := 0; i < 12; i++ {
+		c.Enqueue(Work{Duration: 5 * sim.Microsecond})
+		eng.Run(eng.Now() + 120*sim.Microsecond)
+	}
+	if s := c.State(); s != CC1E {
+		t.Fatalf("core settled in %v, want CC1E", s)
+	}
+	if c.Wakes(CC1E) == 0 {
+		t.Fatal("no CC1E wakes recorded")
+	}
+}

@@ -1,0 +1,377 @@
+// Package dram models the memory subsystem: memory controllers (MCs) and
+// the DDR4 devices behind them, with the three power regimes the paper
+// uses (Sec. 3.1, 4.2.2):
+//
+//   - Active: MC issues refreshes, CKE high, full power.
+//   - CKE-off power-down (APD/PPD): nanosecond-scale entry (~10 ns) and
+//     exit (~24 ns), ≥50% DRAM power saving. This is what PC1A uses via
+//     the Allow_CKE_OFF control wire.
+//   - Self-refresh: DRAM refreshes itself, most of the SoC↔DRAM interface
+//     can be powered off; microsecond-scale exit. Only reachable from
+//     deep package C-states (PC6).
+//
+// Power is split across two accounting domains the way RAPL splits it:
+// the controller+PHY draw belongs to the Package domain, the DRAM device
+// draw to the DRAM domain.
+package dram
+
+import (
+	"fmt"
+
+	"agilepkgc/internal/power"
+	"agilepkgc/internal/signal"
+	"agilepkgc/internal/sim"
+)
+
+// Mode is the DRAM power regime of one memory controller's channels.
+type Mode int
+
+const (
+	// Active: CKE high, pages servable.
+	Active Mode = iota
+	// PowerDown: CKE off (pre-charged power-down). PC1A's choice.
+	PowerDown
+	// SelfRefresh: device self-refreshes, interface off. PC6's choice.
+	SelfRefresh
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Active:
+		return "active"
+	case PowerDown:
+		return "CKE-off"
+	case SelfRefresh:
+		return "self-refresh"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// CKEKind distinguishes the two DDR4 CKE power-down flavours. The model
+// treats them identically for latency (both are 10–30 ns class); PPD
+// saves slightly more power because the row buffer is off.
+type CKEKind int
+
+const (
+	// APD: active power-down, pages kept open.
+	APD CKEKind = iota
+	// PPD: pre-charged power-down, row buffer off.
+	PPD
+)
+
+// String names the kind.
+func (k CKEKind) String() string {
+	if k == APD {
+		return "APD"
+	}
+	return "PPD"
+}
+
+// Params collects a memory controller's timing and power parameters.
+type Params struct {
+	// CKEEntry/CKEExit are the CKE-off transition latencies (paper:
+	// entry within 10 ns, exit within 24 ns).
+	CKEEntry sim.Duration
+	CKEExit  sim.Duration
+	// SREntry/SRExit are the self-refresh transition latencies
+	// (microsecond scale).
+	SREntry sim.Duration
+	SRExit  sim.Duration
+
+	// Controller power (Package domain) per mode.
+	MCActiveWatts float64
+	MCCKEWatts    float64
+	MCSRWatts     float64
+
+	// Device power (DRAM domain) per mode, for this controller's DIMMs.
+	DRAMActiveWatts float64
+	DRAMCKEWatts    float64
+	DRAMSRWatts     float64
+
+	// AccessEnergyJoules is the dynamic energy charged to the DRAM
+	// domain per memory transaction, on top of the background power.
+	AccessEnergyJoules float64
+
+	// AccessLatency is the service time of one memory transaction once
+	// the channel is active.
+	AccessLatency sim.Duration
+}
+
+// DefaultParams returns the paper-calibrated parameters for one of the
+// two SKX memory controllers (totals across both: DRAM 5.5 W active idle,
+// 1.61 W CKE-off, 0.51 W self-refresh; MC active 1.0 W total — see
+// DESIGN.md for the derivation from the paper's Sec. 5.4 deltas).
+func DefaultParams() Params {
+	return Params{
+		CKEEntry:           10 * sim.Nanosecond,
+		CKEExit:            24 * sim.Nanosecond,
+		SREntry:            1 * sim.Microsecond,
+		SRExit:             5 * sim.Microsecond,
+		MCActiveWatts:      0.50,
+		MCCKEWatts:         0.35,
+		MCSRWatts:          0.175,
+		DRAMActiveWatts:    2.75,
+		DRAMCKEWatts:       0.805,
+		DRAMSRWatts:        0.255,
+		AccessEnergyJoules: 3.3e-6,
+		AccessLatency:      90 * sim.Nanosecond,
+	}
+}
+
+// MC is one memory controller plus its attached DIMMs.
+type MC struct {
+	eng    *sim.Engine
+	name   string
+	params Params
+	kind   CKEKind
+
+	mode        Mode
+	outstanding int
+
+	// allowCKEOff mirrors the Allow_CKE_OFF control wire (paper Fig. 3,
+	// purple): "when this signal is set, the memory controller enters
+	// CKE off mode as soon as it completes all outstanding memory
+	// transactions and returns to the active state when unset."
+	allowCKEOff *signal.Signal
+
+	// inCKEOff is a status wire: high while the channels are in CKE-off
+	// or deeper. (The paper does not route this to the APMU — CKE entry
+	// is non-blocking — but experiments use it for residency tracking.)
+	inCKEOff *signal.Signal
+
+	pending *sim.Event
+
+	mcCh   *power.Channel // Package domain
+	dramCh *power.Channel // DRAM domain
+
+	ckeEntries uint64
+	srEntries  uint64
+	accesses   uint64
+}
+
+// NewMC builds an active controller. Channels may be nil in tests.
+func NewMC(eng *sim.Engine, name string, p Params, kind CKEKind, mcCh, dramCh *power.Channel) *MC {
+	mc := &MC{
+		eng:         eng,
+		name:        name,
+		params:      p,
+		kind:        kind,
+		mode:        Active,
+		allowCKEOff: signal.New(name+".Allow_CKE_OFF", false),
+		inCKEOff:    signal.New(name+".InCKEOff", false),
+		mcCh:        mcCh,
+		dramCh:      dramCh,
+	}
+	if mcCh != nil {
+		mcCh.Set(p.MCActiveWatts)
+	}
+	if dramCh != nil {
+		dramCh.Set(p.DRAMActiveWatts)
+	}
+	mc.allowCKEOff.Subscribe(mc.onAllowCKEOff)
+	return mc
+}
+
+// Name returns the controller name.
+func (mc *MC) Name() string { return mc.name }
+
+// Mode returns the current power regime.
+func (mc *MC) Mode() Mode { return mc.mode }
+
+// Params returns the controller's configuration.
+func (mc *MC) Params() Params { return mc.params }
+
+// CKEKind returns the configured power-down flavour.
+func (mc *MC) CKEKind() CKEKind { return mc.kind }
+
+// AllowCKEOff returns the Allow_CKE_OFF control wire.
+func (mc *MC) AllowCKEOff() *signal.Signal { return mc.allowCKEOff }
+
+// InCKEOff returns the CKE-off status wire.
+func (mc *MC) InCKEOff() *signal.Signal { return mc.inCKEOff }
+
+// Idle reports whether no transactions are outstanding.
+func (mc *MC) Idle() bool { return mc.outstanding == 0 }
+
+// CKEEntries returns how many times the channels entered CKE-off.
+func (mc *MC) CKEEntries() uint64 { return mc.ckeEntries }
+
+// SREntries returns how many times the channels entered self-refresh.
+func (mc *MC) SREntries() uint64 { return mc.srEntries }
+
+// Accesses returns the number of completed memory transactions.
+func (mc *MC) Accesses() uint64 { return mc.accesses }
+
+func (mc *MC) setPower() {
+	var mcw, dw float64
+	switch mc.mode {
+	case Active:
+		mcw, dw = mc.params.MCActiveWatts, mc.params.DRAMActiveWatts
+	case PowerDown:
+		mcw, dw = mc.params.MCCKEWatts, mc.params.DRAMCKEWatts
+	case SelfRefresh:
+		mcw, dw = mc.params.MCSRWatts, mc.params.DRAMSRWatts
+	}
+	if mc.mcCh != nil {
+		mc.mcCh.Set(mcw)
+	}
+	if mc.dramCh != nil {
+		mc.dramCh.Set(dw)
+	}
+}
+
+func (mc *MC) onAllowCKEOff(level bool) {
+	if level {
+		mc.maybeEnterCKEOff()
+		return
+	}
+	if mc.mode == PowerDown {
+		mc.exitToActive(mc.params.CKEExit)
+	}
+}
+
+func (mc *MC) maybeEnterCKEOff() {
+	if mc.mode != Active || !mc.allowCKEOff.Level() || !mc.Idle() || mc.pending.Pending() {
+		return
+	}
+	mc.pending = mc.eng.Schedule(mc.params.CKEEntry, func() {
+		mc.pending = nil
+		// Conditions may have changed during the 10 ns entry.
+		if mc.mode != Active || !mc.allowCKEOff.Level() || !mc.Idle() {
+			return
+		}
+		mc.mode = PowerDown
+		mc.ckeEntries++
+		mc.setPower()
+		mc.inCKEOff.Set()
+	})
+}
+
+// exitToActive returns to Active after the given latency.
+func (mc *MC) exitToActive(lat sim.Duration) {
+	mc.pending.Cancel()
+	mc.mode = Active
+	mc.inCKEOff.Unset()
+	mc.setPower()
+	mc.pending = mc.eng.Schedule(lat, func() {
+		mc.pending = nil
+		mc.drainOrIdle()
+	})
+}
+
+func (mc *MC) drainOrIdle() {
+	if mc.Idle() {
+		mc.maybeEnterCKEOff()
+	}
+}
+
+// Access performs one memory transaction: wakes the channels if needed,
+// charges the dynamic energy, and calls done (if non-nil) when the
+// transaction completes. It returns the total latency including any
+// power-state exit penalty.
+func (mc *MC) Access(done func()) sim.Duration {
+	mc.outstanding++
+	var penalty sim.Duration
+	switch mc.mode {
+	case PowerDown:
+		penalty = mc.params.CKEExit
+		mc.exitToActive(mc.params.CKEExit)
+	case SelfRefresh:
+		penalty = mc.params.SRExit
+		mc.exitToActive(mc.params.SRExit)
+	default:
+		// An in-flight CKE entry is aborted by traffic.
+		mc.pending.Cancel()
+		mc.pending = nil
+	}
+	total := penalty + mc.params.AccessLatency
+	mc.eng.Schedule(total, func() {
+		mc.outstanding--
+		mc.accesses++
+		if mc.dramCh != nil {
+			// Dynamic energy: model as an impulse by direct accumulation
+			// through a zero-duration power excursion is not possible in
+			// a piecewise-constant meter, so charge it as an equivalent
+			// energy via a brief explicit add.
+			mc.chargeAccessEnergy()
+		}
+		if done != nil {
+			done()
+		}
+		if mc.Idle() {
+			mc.maybeEnterCKEOff()
+		}
+	})
+	return total
+}
+
+// chargeAccessEnergy adds the per-access dynamic energy to the DRAM
+// domain. The meter integrates piecewise-constant power, so the impulse
+// is applied by temporarily raising the channel draw for one nanosecond
+// of virtual time with the equivalent power.
+func (mc *MC) chargeAccessEnergy() {
+	e := mc.params.AccessEnergyJoules
+	if e <= 0 {
+		return
+	}
+	base := mc.dramCh.Watts()
+	impulse := e / sim.Nanosecond.Seconds() // watts over 1 ns
+	mc.dramCh.Set(base + impulse)
+	mc.eng.Schedule(sim.Nanosecond, func() {
+		// Re-derive the correct background level: the mode may have
+		// changed during the impulse nanosecond.
+		mc.setPower()
+	})
+}
+
+// EnterSelfRefresh places the channels in self-refresh (GPMU command
+// during the PC6 entry flow). The controller must be idle. done fires
+// when the devices are self-refreshing.
+func (mc *MC) EnterSelfRefresh(done func()) {
+	if !mc.Idle() {
+		panic(fmt.Sprintf("dram: EnterSelfRefresh on busy controller %s", mc.name))
+	}
+	if mc.mode == SelfRefresh {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	mc.pending.Cancel()
+	mc.pending = mc.eng.Schedule(mc.params.SREntry, func() {
+		mc.pending = nil
+		// A transaction racing the entry window aborts it (the event is
+		// also canceled directly by Access); the GPMU retries on its
+		// next pass.
+		if !mc.Idle() || mc.mode != Active {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		mc.mode = SelfRefresh
+		mc.srEntries++
+		mc.setPower()
+		mc.inCKEOff.Set() // self-refresh is CKE-off or deeper
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// ExitSelfRefresh wakes the devices (GPMU command during PC6 exit); done
+// fires when the channels are active again.
+func (mc *MC) ExitSelfRefresh(done func()) {
+	if mc.mode != SelfRefresh {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	mc.exitToActive(mc.params.SRExit)
+	if done != nil {
+		mc.eng.Schedule(mc.params.SRExit, done)
+	}
+}

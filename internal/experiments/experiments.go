@@ -1,0 +1,174 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a pure function of its parameters that
+// runs the simulator and returns a result struct with both programmatic
+// fields (asserted by tests and benchmarks) and a formatted report that
+// prints the same rows/series the paper shows, side by side with the
+// paper's published numbers.
+//
+// Index (see DESIGN.md §3 for the full mapping):
+//
+//	Table1   — power and latency per package C-state
+//	Table2   — state-availability matrix
+//	Sec54    — component power deltas (Pcores, PIOs, Pdram, PPLLs)
+//	Sec55    — PC1A vs PC6 transition latency
+//	Eq1      — analytic power-savings model
+//	Fig5     — Memcached latency, Cshallow vs Cdeep
+//	Fig6     — PC1A opportunity (residencies, idle-period distribution)
+//	Fig7     — PC1A power savings and performance impact
+//	Fig8     — MySQL residency and power reduction
+//	Fig9     — Kafka residency and power reduction
+//	Area     — hardware cost model (Sec. 5.1–5.3)
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"agilepkgc/internal/cpu"
+	"agilepkgc/internal/pmu"
+	"agilepkgc/internal/power"
+	"agilepkgc/internal/server"
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/trace"
+	"agilepkgc/internal/workload"
+)
+
+// Options tune experiment run length; the defaults balance statistical
+// stability against runtime. Tests use shorter windows.
+type Options struct {
+	// Duration is the measured window per operating point.
+	Duration sim.Duration
+	// Seed for all generators.
+	Seed uint64
+}
+
+// DefaultOptions returns the report-quality settings.
+func DefaultOptions() Options {
+	return Options{Duration: 2 * sim.Second, Seed: 1}
+}
+
+// QuickOptions returns fast settings for tests.
+func QuickOptions() Options {
+	return Options{Duration: 100 * sim.Millisecond, Seed: 1}
+}
+
+// loadedRun runs one (config, workload) point with a tracer attached and
+// returns the bundle of observations every figure draws from.
+type loadedRun struct {
+	sys    *soc.System
+	srv    *server.Server
+	tracer *trace.Tracer
+
+	avgSoCW   float64
+	avgDRAMW  float64
+	avgTotalW float64
+}
+
+func runPoint(kind soc.ConfigKind, spec workload.Spec, opt Options) *loadedRun {
+	sys := soc.New(soc.DefaultConfig(kind))
+	scfg := server.DefaultConfig()
+	scfg.Seed = opt.Seed
+	srv := server.New(sys, scfg, spec)
+
+	// Short warmup so the measured window starts in steady state (menu
+	// governors seeded, frequency policies settled, queues primed).
+	warm := opt.Duration / 10
+	if warm > 50*sim.Millisecond {
+		warm = 50 * sim.Millisecond
+	}
+	srv.Run(warm)
+
+	tr := trace.New(sys.Engine, sys.Cores)
+	snap := sys.Meter.Snapshot()
+	srv.Run(opt.Duration)
+	tr.Finalize()
+
+	return &loadedRun{
+		sys:       sys,
+		srv:       srv,
+		tracer:    tr,
+		avgSoCW:   snap.AveragePower(power.Package),
+		avgDRAMW:  snap.AveragePower(power.DRAM),
+		avgTotalW: snap.AverageTotal(),
+	}
+}
+
+// newServerForConfig builds a server on an already-assembled system with
+// the experiment's seed.
+func newServerForConfig(sys *soc.System, opt Options, spec workload.Spec) *server.Server {
+	scfg := server.DefaultConfig()
+	scfg.Seed = opt.Seed
+	return server.New(sys, scfg, spec)
+}
+
+// table builds a simple aligned text table.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// cpuBusyWork returns a long-running work item that keeps a core in CC0
+// for the duration of a characterization measurement.
+func cpuBusyWork() cpu.Work {
+	return cpu.Work{Duration: 100 * sim.Millisecond}
+}
+
+// modelImpact computes the paper's performance model (Sec. 6): the
+// number of PC1A transitions times the 200 ns transition cost, weighted
+// by how many cores (≈ requests) each exit delays, spread across all
+// served requests.
+func modelImpact(run *loadedRun, baselineMeanLat float64) float64 {
+	if run.sys.APMU == nil || run.srv.Served() == 0 || baselineMeanLat <= 0 {
+		return 0
+	}
+	transitions := float64(run.sys.APMU.Entries(pmu.PC1A))
+	affected := run.tracer.ActiveCoresAfterIdle().Mean()
+	if affected < 1 {
+		affected = 1
+	}
+	const transitionCost = 200e-9 // seconds
+	added := transitions * transitionCost * affected
+	return added / (float64(run.srv.Served()) * baselineMeanLat)
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/workload"
+)
+
+// Fig5Point is one QPS operating point of paper Fig. 5: average and tail
+// latency of Memcached under the two baseline configurations.
+type Fig5Point struct {
+	QPS float64
+
+	ShallowMean float64 // seconds
+	ShallowP99  float64
+	DeepMean    float64
+	DeepP99     float64
+
+	ShallowServed uint64
+	DeepServed    uint64
+}
+
+// Fig5Result is the full sweep.
+type Fig5Result struct {
+	Points []Fig5Point
+}
+
+// DefaultFig5QPS is the swept request-rate axis; the shaded low-load
+// region of the paper is 4K–100K.
+var DefaultFig5QPS = []float64{4000, 10000, 20000, 50000, 100000, 200000, 300000, 400000}
+
+// Fig5 sweeps Memcached load over Cshallow and Cdeep.
+func Fig5(opt Options, qpsList []float64) *Fig5Result {
+	if len(qpsList) == 0 {
+		qpsList = DefaultFig5QPS
+	}
+	res := &Fig5Result{}
+	for _, qps := range qpsList {
+		spec := workload.Memcached(qps)
+		sh := runPoint(soc.Cshallow, spec, opt)
+		dp := runPoint(soc.Cdeep, spec, opt)
+		res.Points = append(res.Points, Fig5Point{
+			QPS:           qps,
+			ShallowMean:   sh.srv.Latencies().Mean(),
+			ShallowP99:    sh.srv.Latencies().Quantile(0.99),
+			DeepMean:      dp.srv.Latencies().Mean(),
+			DeepP99:       dp.srv.Latencies().Quantile(0.99),
+			ShallowServed: sh.srv.Served(),
+			DeepServed:    dp.srv.Served(),
+		})
+	}
+	return res
+}
+
+// String renders the sweep.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 5: Memcached latency, Cshallow vs Cdeep (paper: Cdeep worse everywhere; spike at >=300K)\n")
+	t := &table{header: []string{"QPS", "Cshallow mean", "Cshallow p99", "Cdeep mean", "Cdeep p99", "Cdeep/Cshallow mean"}}
+	for _, p := range r.Points {
+		t.add(fmt.Sprintf("%.0fK", p.QPS/1000),
+			us(p.ShallowMean), us(p.ShallowP99),
+			us(p.DeepMean), us(p.DeepP99),
+			fmt.Sprintf("%.2fx", p.DeepMean/p.ShallowMean))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// us formats seconds as microseconds.
+func us(sec float64) string { return fmt.Sprintf("%.1fus", sec*1e6) }

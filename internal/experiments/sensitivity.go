@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	apc "agilepkgc/internal/core"
+	"agilepkgc/internal/cpu"
+	"agilepkgc/internal/pmu"
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/workload"
+)
+
+// SensitivityResult quantifies how each of APC's design choices buys its
+// share of the headline result — the ablations DESIGN.md calls out:
+//
+//  1. Technique ablations: idle power with CLMR / CKE-off / IOSM
+//     individually removed.
+//  2. PLL policy: exit latency and idle power with PLLs kept on (APC)
+//     vs powered off (PC6-style re-lock on exit).
+//  3. APMU clock sweep: transition latency vs FSM frequency.
+//  4. FIVR slew sweep: exit latency vs regulator slew rate.
+//  5. End-to-end: power savings at a reference load for each ablated
+//     configuration.
+type SensitivityResult struct {
+	BaselineIdleW float64 // Cshallow
+	FullAPCIdleW  float64
+
+	Ablations []AblationPoint
+
+	PLLOnExit    sim.Duration // PC1A exit, PLLs locked
+	PLLOffExit   sim.Duration // PC1A exit + relock, hypothetical
+	PLLOnCostW   float64      // idle watts spent keeping PLLs locked
+	APMUClockPts []APMUClockPoint
+	SlewPts      []SlewPoint
+}
+
+// AblationPoint is one technique-removed configuration.
+type AblationPoint struct {
+	Name        string
+	IdleW       float64
+	IdleSavings float64 // vs Cshallow
+	LoadSavings float64 // at the reference load (20K QPS Memcached)
+}
+
+// APMUClockPoint is one FSM frequency.
+type APMUClockPoint struct {
+	ClockMHz float64
+	Entry    sim.Duration
+	Exit     sim.Duration
+}
+
+// SlewPoint is one FIVR slew rate.
+type SlewPoint struct {
+	SlewMVPerNs float64
+	Exit        sim.Duration
+}
+
+// Sensitivity runs the sweep suite.
+func Sensitivity(opt Options) *SensitivityResult {
+	r := &SensitivityResult{}
+	settle := 10 * sim.Millisecond
+
+	idleW := func(cfg soc.Config) float64 {
+		s := soc.New(cfg)
+		s.Engine.Run(settle)
+		return s.TotalPower()
+	}
+	loadSavings := func(cfg soc.Config) float64 {
+		spec := workload.Memcached(20000)
+		sh := runPoint(soc.Cshallow, spec, opt)
+		s := soc.New(cfg)
+		srv := newServerForConfig(s, opt, spec)
+		srv.Run(opt.Duration / 10)
+		snap := s.Meter.Snapshot()
+		srv.Run(opt.Duration)
+		return (sh.avgTotalW - snap.AverageTotal()) / sh.avgTotalW
+	}
+
+	r.BaselineIdleW = idleW(soc.DefaultConfig(soc.Cshallow))
+	r.FullAPCIdleW = idleW(soc.DefaultConfig(soc.CPC1A))
+
+	mk := func(name string, mut func(*soc.Config)) AblationPoint {
+		cfg := soc.DefaultConfig(soc.CPC1A)
+		mut(&cfg)
+		w := idleW(cfg)
+		return AblationPoint{
+			Name:        name,
+			IdleW:       w,
+			IdleSavings: 1 - w/r.BaselineIdleW,
+			LoadSavings: loadSavings(cfg),
+		}
+	}
+	r.Ablations = []AblationPoint{
+		mk("full APC", func(*soc.Config) {}),
+		mk("no CLMR", func(c *soc.Config) { c.NoCLMRetention = true }),
+		mk("no CKE-off", func(c *soc.Config) { c.NoCKEOff = true }),
+		mk("no IO standby", func(c *soc.Config) { c.NoIOStandby = true }),
+	}
+
+	// PLL policy: measured exit with PLLs locked; hypothetical exit with
+	// a PC6-style relock serialized after PwrOk (the CLM clock cannot
+	// ungate until its PLL locks).
+	{
+		s := soc.New(soc.DefaultConfig(soc.CPC1A))
+		s.Engine.Run(settle)
+		s.Cores[0].Enqueue(cpu.Work{Duration: sim.Microsecond})
+		s.Engine.Run(s.Engine.Now() + sim.Millisecond)
+		r.PLLOnExit = s.APMU.LastExitLatency()
+		r.PLLOffExit = r.PLLOnExit + s.CLM.PLL().RelockLatency()
+		r.PLLOnCostW = float64(len(s.PLLs)) * 0.007
+	}
+
+	// APMU clock sweep.
+	for _, mhz := range []float64{100, 250, 500, 1000} {
+		cfg := soc.DefaultConfig(soc.CPC1A)
+		cfg.APMUConfig = apc.Config{ClockHz: mhz * 1e6, ActionCycles: 2}
+		s := soc.New(cfg)
+		s.Engine.Run(settle)
+		s.Cores[0].Enqueue(cpu.Work{Duration: sim.Microsecond})
+		s.Engine.Run(s.Engine.Now() + sim.Millisecond)
+		if s.APMU.Entries(pmu.PC1A) == 0 {
+			continue
+		}
+		r.APMUClockPts = append(r.APMUClockPts, APMUClockPoint{
+			ClockMHz: mhz,
+			Entry:    16*sim.Nanosecond + s.APMU.LastEntryLatency(),
+			Exit:     s.APMU.LastExitLatency(),
+		})
+	}
+
+	// FIVR slew sweep: the CLM ramp dominates exit latency, so exit
+	// scales inversely with slew.
+	for _, mv := range []float64{1, 2, 4, 8} {
+		cfg := soc.DefaultConfig(soc.CPC1A)
+		cfg.CLMParams.SlewVoltsPerNs = mv / 1000
+		s := soc.New(cfg)
+		s.Engine.Run(settle)
+		s.Cores[0].Enqueue(cpu.Work{Duration: sim.Microsecond})
+		s.Engine.Run(s.Engine.Now() + sim.Millisecond)
+		r.SlewPts = append(r.SlewPts, SlewPoint{
+			SlewMVPerNs: mv,
+			Exit:        s.APMU.LastExitLatency(),
+		})
+	}
+	return r
+}
+
+// String renders the sweep suite.
+func (r *SensitivityResult) String() string {
+	var b strings.Builder
+	b.WriteString("Sensitivity: what each APC design choice buys\n\n")
+	b.WriteString("Technique ablations (idle + 20K QPS Memcached):\n")
+	t := &table{header: []string{"Configuration", "Idle power", "Idle savings", "Savings @20K"}}
+	for _, a := range r.Ablations {
+		t.add(a.Name, fmt.Sprintf("%.1fW", a.IdleW), pct(a.IdleSavings), pct(a.LoadSavings))
+	}
+	b.WriteString(t.String())
+
+	fmt.Fprintf(&b, "\nPLL policy: exit %v with PLLs locked (cost %.0f mW idle) vs %v with PC6-style relock\n",
+		r.PLLOnExit, r.PLLOnCostW*1000, r.PLLOffExit)
+
+	b.WriteString("\nAPMU clock sweep (entry includes the fixed 16ns L0s window):\n")
+	tc := &table{header: []string{"FSM clock", "Entry", "Exit"}}
+	for _, p := range r.APMUClockPts {
+		tc.add(fmt.Sprintf("%.0fMHz", p.ClockMHz), p.Entry.String(), p.Exit.String())
+	}
+	b.WriteString(tc.String())
+
+	b.WriteString("\nFIVR slew sweep (300mV retention swing):\n")
+	ts := &table{header: []string{"Slew", "PC1A exit"}}
+	for _, p := range r.SlewPts {
+		ts.add(fmt.Sprintf("%.0fmV/ns", p.SlewMVPerNs), p.Exit.String())
+	}
+	b.WriteString(ts.String())
+	return b.String()
+}

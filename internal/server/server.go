@@ -1,0 +1,237 @@
+// Package server models the software stack of one latency-critical
+// service instance running on the simulated SoC: NIC DMA over the PCIe
+// link, kernel network processing, connection-pinned dispatch onto the
+// application threads (one per core, as the paper's pinned Memcached
+// deployment does), and end-to-end latency measurement from the client's
+// perspective (client↔server network time included).
+package server
+
+import (
+	"agilepkgc/internal/cpu"
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/stats"
+	"agilepkgc/internal/workload"
+)
+
+// Config parameterizes the server software model.
+type Config struct {
+	// NetworkLatency is the client↔server round-trip component added to
+	// every response (paper Sec. 7.3: ≈117 µs end-to-end network time).
+	NetworkLatency sim.Duration
+	// NICTransfer is the DMA time of one request/response on the PCIe
+	// link.
+	NICTransfer sim.Duration
+	// KernelOverhead is per-request kernel time (interrupt, softirq,
+	// socket) executed on the serving core in addition to the
+	// application service time.
+	KernelOverhead sim.Duration
+	// BatchEpoch, when non-zero, delays request dispatch to aligned
+	// epoch boundaries so cores activate and idle *together* — the
+	// active-period synchronization the paper's related work (CARB,
+	// µDPM, DynSleep) pursues and that Sec. 8 calls additive to APC.
+	// Requests wait at most one epoch; latency grows by epoch/2 on
+	// average in exchange for longer full-system-idle periods.
+	BatchEpoch sim.Duration
+	// TimerTickHz, when non-zero, arms a periodic per-core timer
+	// interrupt (a non-tickless kernel): each tick wakes its core for
+	// TickKernelTime. This is the background OS noise that erodes the
+	// PC1A opportunity on real machines.
+	TimerTickHz    float64
+	TickKernelTime sim.Duration
+	// Seed makes the request stream deterministic.
+	Seed uint64
+}
+
+// DefaultConfig returns the evaluation defaults.
+func DefaultConfig() Config {
+	return Config{
+		NetworkLatency: 117 * sim.Microsecond,
+		NICTransfer:    300 * sim.Nanosecond,
+		KernelOverhead: 5 * sim.Microsecond,
+		Seed:           1,
+	}
+}
+
+// Server binds a workload to a system.
+type Server struct {
+	sys *soc.System
+	cfg Config
+	gen *workload.Generator
+
+	// Latencies in seconds, client-observed.
+	lat *stats.Histogram
+
+	served   uint64
+	inFlight int
+
+	batch        []func()
+	batchArmed   bool
+	batchFlushes uint64
+}
+
+// New creates a server for the given system and workload.
+func New(sys *soc.System, cfg Config, spec workload.Spec) *Server {
+	s := &Server{
+		sys: sys,
+		cfg: cfg,
+		lat: stats.NewLatencyHistogram(),
+	}
+	s.gen = workload.NewGenerator(sys.Engine, spec, cfg.Seed, s.receive)
+	if cfg.TimerTickHz > 0 {
+		s.armTicks()
+	}
+	return s
+}
+
+// NewClosedLoop creates a server driven by a closed-loop client instead
+// of an open-loop generator. The caller builds the client around the
+// returned server's Submit method:
+//
+//	srv := server.NewClosedLoop(sys, cfg)
+//	cl := workload.SysbenchOLTP(sys.Engine, 16, 1e-3, 1, srv.Submit)
+//	cl.Start()
+//	sys.Engine.Run(...)
+func NewClosedLoop(sys *soc.System, cfg Config) *Server {
+	s := &Server{
+		sys: sys,
+		cfg: cfg,
+		lat: stats.NewLatencyHistogram(),
+	}
+	if cfg.TimerTickHz > 0 {
+		s.armTicks()
+	}
+	return s
+}
+
+// armTicks schedules staggered periodic timer interrupts on every core.
+func (s *Server) armTicks() {
+	period := sim.Duration(float64(sim.Second) / s.cfg.TimerTickHz)
+	for i, c := range s.sys.Cores {
+		c := c
+		var tick func()
+		tick = func() {
+			c.WakeInterrupt(s.cfg.TickKernelTime)
+			s.sys.Engine.Schedule(period, tick)
+		}
+		// Stagger cores across the period so ticks do not align.
+		offset := period * sim.Duration(i) / sim.Duration(len(s.sys.Cores))
+		s.sys.Engine.Schedule(offset+1, tick)
+	}
+}
+
+// Run generates load for the given duration of virtual time and then
+// drains: the engine runs until all in-flight requests complete. On a
+// closed-loop server (no generator) it simply advances time and drains.
+func (s *Server) Run(d sim.Duration) {
+	eng := s.sys.Engine
+	stop := eng.Now() + d
+	if s.gen != nil {
+		s.gen.Start(stop)
+	}
+	eng.Run(stop)
+	// Drain stragglers.
+	for i := 0; i < 100 && s.inFlight > 0; i++ {
+		eng.Run(eng.Now() + sim.Millisecond)
+	}
+}
+
+// Latencies returns the client-observed latency histogram (seconds).
+func (s *Server) Latencies() *stats.Histogram { return s.lat }
+
+// Served returns the number of completed requests.
+func (s *Server) Served() uint64 { return s.served }
+
+// Generated returns the number of requests emitted by the load
+// generator (0 for closed-loop servers, which count via the client).
+func (s *Server) Generated() uint64 {
+	if s.gen == nil {
+		return 0
+	}
+	return s.gen.Generated()
+}
+
+// System returns the underlying system.
+func (s *Server) System() *soc.System { return s.sys }
+
+// receive models the request's path through the machine.
+func (s *Server) receive(req *workload.Request) { s.submit(req, nil) }
+
+// Submit serves one request and calls done (if non-nil) when the
+// response leaves the NIC — the hook closed-loop clients use.
+func (s *Server) Submit(req *workload.Request, done func()) { s.submit(req, done) }
+
+func (s *Server) submit(req *workload.Request, done func()) {
+	s.inFlight++
+	eng := s.sys.Engine
+	nic := s.sys.NICLink()
+
+	// 1. NIC DMA in: the PCIe link wakes if parked (its wake event is
+	// also what triggers the PC1A exit flow for network traffic).
+	nic.StartTransaction()
+	inWire := nic.ExitDelay() + s.cfg.NICTransfer
+	eng.Schedule(inWire, func() {
+		nic.EndTransaction()
+		s.dispatch(func() { s.execute(req, done) })
+	})
+}
+
+// dispatch runs fn now, or holds it for the next epoch boundary when
+// batching is enabled.
+func (s *Server) dispatch(fn func()) {
+	if s.cfg.BatchEpoch == 0 {
+		fn()
+		return
+	}
+	s.batch = append(s.batch, fn)
+	if s.batchArmed {
+		return
+	}
+	s.batchArmed = true
+	eng := s.sys.Engine
+	next := (eng.Now()/s.cfg.BatchEpoch + 1) * s.cfg.BatchEpoch
+	eng.At(next, func() {
+		s.batchArmed = false
+		s.batchFlushes++
+		pending := s.batch
+		s.batch = nil
+		for _, f := range pending {
+			f()
+		}
+	})
+}
+
+// BatchFlushes returns how many epoch releases occurred.
+func (s *Server) BatchFlushes() uint64 { return s.batchFlushes }
+
+// execute runs the request on its pinned core and sends the response.
+func (s *Server) execute(req *workload.Request, done func()) {
+	eng := s.sys.Engine
+	nic := s.sys.NICLink()
+	// 2. Kernel + application execution on the pinned core.
+	core := s.sys.Cores[req.Conn%len(s.sys.Cores)]
+	core.Enqueue(cpu.Work{
+		Duration: req.Service + s.cfg.KernelOverhead,
+		OnStart: func() {
+			// 3. The request's DRAM traffic (dynamic energy; also wakes
+			// CKE-parked channels).
+			s.sys.MemAccess(req.MemAccesses)
+		},
+		OnDone: func() {
+			// 4. NIC DMA out, then the client sees the response one
+			// network latency after arrival processing started.
+			nic.StartTransaction()
+			outWire := nic.ExitDelay() + s.cfg.NICTransfer
+			eng.Schedule(outWire, func() {
+				nic.EndTransaction()
+				e2e := eng.Now() - req.Arrival + s.cfg.NetworkLatency
+				s.lat.Add(e2e.Seconds())
+				s.served++
+				s.inFlight--
+				if done != nil {
+					done()
+				}
+			})
+		},
+	})
+}

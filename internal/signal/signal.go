@@ -1,0 +1,97 @@
+// Package signal models the routed status/control wires of the APC
+// architecture (paper Fig. 3): level-triggered signals such as InCC1,
+// InL0s, AllowL0s, Allow_CKE_OFF, Ret, PwrOk, ClkGate and InPC1A, plus
+// the AND-gate aggregation trees the paper uses to combine per-core and
+// per-IO status lines before routing them to the APMU.
+//
+// Signals are logical wires: propagation is instantaneous (the real
+// routing delay is absorbed into the PMU FSM cycle costs, as the paper's
+// latency analysis does). Subscribers run synchronously in subscription
+// order, which keeps flows deterministic.
+package signal
+
+import "fmt"
+
+// Signal is a single-driver, many-reader boolean wire.
+type Signal struct {
+	name  string
+	level bool
+	subs  []func(bool)
+}
+
+// New creates a signal with the given initial level.
+func New(name string, initial bool) *Signal {
+	return &Signal{name: name, level: initial}
+}
+
+// Name returns the wire's name.
+func (s *Signal) Name() string { return s.name }
+
+// Level returns the current level.
+func (s *Signal) Level() bool { return s.level }
+
+// Subscribe registers fn to run on every level change, with the new
+// level. Subscribers added during a notification do not see that
+// notification.
+func (s *Signal) Subscribe(fn func(level bool)) {
+	if fn == nil {
+		panic(fmt.Sprintf("signal: nil subscriber on %s", s.name))
+	}
+	s.subs = append(s.subs, fn)
+}
+
+// Set drives the wire high. No-op if already high.
+func (s *Signal) Set() { s.SetLevel(true) }
+
+// Unset drives the wire low. No-op if already low.
+func (s *Signal) Unset() { s.SetLevel(false) }
+
+// SetLevel drives the wire to the given level, notifying subscribers on
+// a change.
+func (s *Signal) SetLevel(level bool) {
+	if s.level == level {
+		return
+	}
+	s.level = level
+	// Iterate over the current subscriber set by index so that
+	// subscriptions made inside a callback do not receive this edge.
+	n := len(s.subs)
+	for i := 0; i < n; i++ {
+		s.subs[i](level)
+	}
+}
+
+// AndTree aggregates many input wires with AND gates into one output
+// wire, mirroring how the paper combines neighbouring cores' InCC1 (and
+// neighbouring IO controllers' InL0s) to save routing resources.
+type AndTree struct {
+	out  *Signal
+	lows int // number of inputs currently low
+}
+
+// NewAndTree builds the tree over the given inputs. The output level is
+// the AND of all current input levels; with no inputs the output is high
+// (vacuous truth, same as a wired-AND with no pull-downs).
+func NewAndTree(name string, inputs ...*Signal) *AndTree {
+	t := &AndTree{}
+	for _, in := range inputs {
+		if !in.Level() {
+			t.lows++
+		}
+	}
+	t.out = New(name, t.lows == 0)
+	for _, in := range inputs {
+		in.Subscribe(func(level bool) {
+			if level {
+				t.lows--
+			} else {
+				t.lows++
+			}
+			t.out.SetLevel(t.lows == 0)
+		})
+	}
+	return t
+}
+
+// Output returns the aggregated wire.
+func (t *AndTree) Output() *Signal { return t.out }

@@ -1,0 +1,178 @@
+package signal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelAndName(t *testing.T) {
+	s := New("InCC1", false)
+	if s.Name() != "InCC1" || s.Level() {
+		t.Fatal("initial state wrong")
+	}
+	s.Set()
+	if !s.Level() {
+		t.Fatal("Set failed")
+	}
+	s.Unset()
+	if s.Level() {
+		t.Fatal("Unset failed")
+	}
+}
+
+func TestSubscribeEdgesOnly(t *testing.T) {
+	s := New("x", false)
+	var edges []bool
+	s.Subscribe(func(l bool) { edges = append(edges, l) })
+	s.Set()
+	s.Set() // no edge
+	s.Unset()
+	s.Unset() // no edge
+	s.SetLevel(true)
+	if len(edges) != 3 || !edges[0] || edges[1] || !edges[2] {
+		t.Fatalf("edges = %v, want [true false true]", edges)
+	}
+}
+
+func TestMultipleSubscribersInOrder(t *testing.T) {
+	s := New("x", false)
+	var order []int
+	s.Subscribe(func(bool) { order = append(order, 1) })
+	s.Subscribe(func(bool) { order = append(order, 2) })
+	s.Set()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSubscribeDuringNotification(t *testing.T) {
+	s := New("x", false)
+	lateCalls := 0
+	s.Subscribe(func(bool) {
+		s.Subscribe(func(bool) { lateCalls++ })
+	})
+	s.Set()
+	if lateCalls != 0 {
+		t.Fatal("late subscriber saw the edge that created it")
+	}
+	s.Unset()
+	if lateCalls != 1 {
+		t.Fatal("late subscriber should see subsequent edges")
+	}
+}
+
+func TestNilSubscriberPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil subscriber should panic")
+		}
+	}()
+	New("x", false).Subscribe(nil)
+}
+
+func TestAndTreeBasic(t *testing.T) {
+	a := New("a", true)
+	b := New("b", true)
+	c := New("c", false)
+	tree := NewAndTree("all", a, b, c)
+	if tree.Output().Level() {
+		t.Fatal("output should be low with one low input")
+	}
+	c.Set()
+	if !tree.Output().Level() {
+		t.Fatal("output should rise when all inputs high")
+	}
+	a.Unset()
+	if tree.Output().Level() {
+		t.Fatal("output should fall when any input falls")
+	}
+}
+
+func TestAndTreeAllHighInitially(t *testing.T) {
+	a := New("a", true)
+	b := New("b", true)
+	tree := NewAndTree("all", a, b)
+	if !tree.Output().Level() {
+		t.Fatal("output should start high")
+	}
+}
+
+func TestAndTreeEmpty(t *testing.T) {
+	tree := NewAndTree("none")
+	if !tree.Output().Level() {
+		t.Fatal("empty AND should be high")
+	}
+}
+
+func TestAndTreeEdgeNotifications(t *testing.T) {
+	// The APMU subscribes to the InCC1 tree output; it must see exactly
+	// one rising edge when the last core goes idle and one falling edge
+	// when the first wakes.
+	cores := make([]*Signal, 10)
+	for i := range cores {
+		cores[i] = New("core", false)
+	}
+	tree := NewAndTree("InCC1", cores...)
+	rises, falls := 0, 0
+	tree.Output().Subscribe(func(l bool) {
+		if l {
+			rises++
+		} else {
+			falls++
+		}
+	})
+	for _, c := range cores {
+		c.Set()
+	}
+	if rises != 1 || falls != 0 {
+		t.Fatalf("after all idle: rises=%d falls=%d", rises, falls)
+	}
+	cores[3].Unset()
+	cores[7].Unset()
+	if falls != 1 {
+		t.Fatalf("falls=%d, want exactly 1", falls)
+	}
+	cores[3].Set()
+	cores[7].Set()
+	if rises != 2 {
+		t.Fatalf("rises=%d, want 2", rises)
+	}
+}
+
+// Property: the tree output always equals the AND of the input levels,
+// under any mutation sequence.
+func TestPropertyAndTreeInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		n := 8
+		ins := make([]*Signal, n)
+		for i := range ins {
+			ins[i] = New("in", i%2 == 0)
+		}
+		tree := NewAndTree("out", ins...)
+		check := func() bool {
+			want := true
+			for _, in := range ins {
+				want = want && in.Level()
+			}
+			return tree.Output().Level() == want
+		}
+		if !check() {
+			return false
+		}
+		for _, op := range ops {
+			idx := int(op) % n
+			if op&0x80 != 0 {
+				ins[idx].Set()
+			} else {
+				ins[idx].Unset()
+			}
+			if !check() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of the AgilePkgC models (cores, IO links, voltage regulators, power
+// management units, workloads) are written against this engine. Time is
+// virtual and advances only when events fire; between events the modeled
+// hardware is in a piecewise-constant state, which is exactly the
+// semantics the power accounting in package power relies on.
+//
+// The engine is single-threaded and deterministic: events scheduled for
+// the same instant fire in scheduling order (FIFO), so repeated runs with
+// the same seed produce identical traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+//
+// One nanosecond is fine-grained enough for every mechanism in the paper:
+// the agile PMU runs at 500 MHz (2 ns per cycle), FIVR voltage slews at
+// 2 mV/ns, and the shortest IO transition (L0p exit) is about 10 ns.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is a separate
+// name from Time only for documentation; arithmetic mixes them freely.
+type Duration = Time
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < 10*Millisecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	case t < 10*Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// Event is a scheduled callback. Events are created by Engine.Schedule /
+// Engine.At and may be canceled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+	index    int // heap index, -1 when not queued
+}
+
+// At returns the virtual time the event is scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. Cancel returns true if the event was
+// pending and is now canceled.
+func (ev *Event) Cancel() bool {
+	if ev == nil || ev.fired || ev.canceled {
+		return false
+	}
+	ev.canceled = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (ev *Event) Pending() bool { return ev != nil && !ev.fired && !ev.canceled }
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	nextID uint64
+
+	// Stats
+	fired uint64
+}
+
+// NewEngine returns an engine positioned at time zero with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsFired returns the total number of events executed so far. It is
+// useful for benchmarking and for asserting that flows have quiesced.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued (including
+// canceled events not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges for fn to run after delay d. A negative delay panics:
+// the hardware being modeled cannot signal into the past.
+func (e *Engine) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// At arranges for fn to run at absolute time t, which must not be in the
+// past. Events scheduled for the same instant run in scheduling order.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step executes the next pending event, advancing time to it. It returns
+// false if the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the next event is after
+// `until`; it then advances time to exactly `until`. Running to a time in
+// the past panics.
+func (e *Engine) Run(until Time) {
+	if until < e.now {
+		panic(fmt.Sprintf("sim: run until %v before now %v", until, e.now))
+	}
+	for {
+		ev := e.queue.peekLive()
+		if ev == nil || ev.at > until {
+			break
+		}
+		e.Step()
+	}
+	e.now = until
+}
+
+// RunUntilQuiescent executes events until none remain or the limit on the
+// number of events is reached. It returns the number of events executed.
+// It is intended for flow tests ("after the wake event, the system settles
+// in PC0") where the natural end is an empty queue.
+func (e *Engine) RunUntilQuiescent(maxEvents int) int {
+	n := 0
+	for n < maxEvents && e.Step() {
+		n++
+	}
+	return n
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// peekLive returns the earliest non-canceled event without removing it,
+// discarding canceled events it encounters at the top.
+func (q *eventQueue) peekLive() *Event {
+	for len(*q) > 0 {
+		ev := (*q)[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(q)
+	}
+	return nil
+}

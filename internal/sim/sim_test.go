@@ -1,0 +1,382 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e9 {
+		t.Fatalf("Second = %d, want 1e9", Second)
+	}
+	if Millisecond != 1e6 || Microsecond != 1e3 || Nanosecond != 1 {
+		t.Fatalf("unit constants wrong: %d %d %d", Millisecond, Microsecond, Nanosecond)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+	if got := (5 * Microsecond).Micros(); got != 5.0 {
+		t.Errorf("Micros() = %v, want 5", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{42, "42ns"},
+		{12 * Microsecond, "12.000us"},
+		{15 * Millisecond, "15.000ms"},
+		{25 * Second, "25.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestScheduleAndRunOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v after Run(100)", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run(100)
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("nested scheduling wrong: %v", hits)
+	}
+}
+
+func TestScheduleZeroDelay(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(10, func() {
+		e.Schedule(0, func() { ran = true })
+	})
+	e.Run(10)
+	if !ran {
+		t.Fatal("zero-delay event did not run within Run(10)")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(10, func() { ran = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending")
+	}
+	if !ev.Cancel() {
+		t.Fatal("first Cancel should return true")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel should return false")
+	}
+	e.Run(100)
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if ev.Pending() {
+		t.Fatal("canceled event still pending")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	var ev *Event
+	if ev.Cancel() {
+		t.Fatal("nil event Cancel should be false")
+	}
+	if ev.Pending() {
+		t.Fatal("nil event should not be pending")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	e.Run(5)
+	if ev.Cancel() {
+		t.Fatal("Cancel after fire should return false")
+	}
+}
+
+func TestRunDoesNotExecuteFutureEvents(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(50, func() { ran = true })
+	e.Run(49)
+	if ran {
+		t.Fatal("event at 50 ran during Run(49)")
+	}
+	if e.Now() != 49 {
+		t.Fatalf("Now() = %v, want 49", e.Now())
+	}
+	e.Run(50)
+	if !ran {
+		t.Fatal("event at 50 did not run during Run(50)")
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(10, func() { n++ })
+	e.Schedule(20, func() { n++ })
+	if !e.Step() {
+		t.Fatal("Step should execute first event")
+	}
+	if e.Now() != 10 || n != 1 {
+		t.Fatalf("after first Step: now=%v n=%d", e.Now(), n)
+	}
+	if !e.Step() {
+		t.Fatal("Step should execute second event")
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue should return false")
+	}
+}
+
+func TestStepSkipsCanceled(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(10, func() { t.Fatal("canceled event ran") })
+	ran := false
+	e.Schedule(20, func() { ran = true })
+	ev.Cancel()
+	if !e.Step() {
+		t.Fatal("Step should find the live event")
+	}
+	if !ran || e.Now() != 20 {
+		t.Fatalf("Step skipped to wrong event: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestRunUntilQuiescent(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			e.Schedule(1, chain)
+		}
+	}
+	e.Schedule(1, chain)
+	n := e.RunUntilQuiescent(100)
+	if n != 5 || count != 5 {
+		t.Fatalf("RunUntilQuiescent executed %d (count %d), want 5", n, count)
+	}
+}
+
+func TestRunUntilQuiescentLimit(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(1, loop)
+	n := e.RunUntilQuiescent(50)
+	if n != 50 {
+		t.Fatalf("limit not respected: %d", n)
+	}
+}
+
+func TestEventsFired(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run(100)
+	if e.EventsFired() != 7 {
+		t.Fatalf("EventsFired = %d, want 7", e.EventsFired())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestRunPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run into the past did not panic")
+		}
+	}()
+	e.Run(5)
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil fn did not panic")
+		}
+	}()
+	NewEngine().Schedule(1, nil)
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 4; i++ {
+		e.Schedule(Time(10+i), func() {})
+	}
+	if e.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4", e.Pending())
+	}
+	e.Run(11)
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d after two fired, want 2", e.Pending())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time
+// order and the engine clock equals each event's scheduled time when it
+// fires.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fireTimes []Time
+		for _, d := range delays {
+			d := Time(d)
+			e.At(d, func() {
+				if e.Now() != d {
+					t.Errorf("fired at %v, scheduled %v", e.Now(), d)
+				}
+				fireTimes = append(fireTimes, e.Now())
+			})
+		}
+		e.Run(Time(1 << 17))
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fireTimes, func(i, j int) bool { return fireTimes[i] < fireTimes[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling a random subset leaves exactly the complement to run.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		total := int(n%64) + 1
+		ran := make([]bool, total)
+		evs := make([]*Event, total)
+		for i := 0; i < total; i++ {
+			i := i
+			evs[i] = e.Schedule(Time(rng.Intn(1000)), func() { ran[i] = true })
+		}
+		canceled := make([]bool, total)
+		for i := 0; i < total; i++ {
+			if rng.Intn(2) == 0 {
+				evs[i].Cancel()
+				canceled[i] = true
+			}
+		}
+		e.Run(2000)
+		for i := 0; i < total; i++ {
+			if ran[i] == canceled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism: two identical runs produce identical event sequences.
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(42))
+		var log []Time
+		var gen func()
+		gen = func() {
+			log = append(log, e.Now())
+			if len(log) < 500 {
+				e.Schedule(Time(rng.Intn(100)), gen)
+				if rng.Intn(3) == 0 {
+					e.Schedule(Time(rng.Intn(100)), func() { log = append(log, e.Now()) })
+				}
+			}
+		}
+		e.Schedule(0, gen)
+		e.RunUntilQuiescent(10000)
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, func() {})
+		e.Step()
+	}
+}

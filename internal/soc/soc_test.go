@@ -1,0 +1,274 @@
+package soc
+
+import (
+	"math"
+	"testing"
+
+	"agilepkgc/internal/cpu"
+	"agilepkgc/internal/dram"
+	"agilepkgc/internal/ios"
+	"agilepkgc/internal/pmu"
+	"agilepkgc/internal/sim"
+)
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestConfigKindString(t *testing.T) {
+	if Cshallow.String() != "Cshallow" || Cdeep.String() != "Cdeep" || CPC1A.String() != "C_PC1A" {
+		t.Fatal("config names wrong")
+	}
+	if ConfigKind(9).String() != "ConfigKind(9)" {
+		t.Fatal("unknown format wrong")
+	}
+}
+
+func TestAssemblyCounts(t *testing.T) {
+	s := New(DefaultConfig(CPC1A))
+	if len(s.Cores) != 10 {
+		t.Fatalf("cores = %d, want 10 (Xeon Silver 4114)", len(s.Cores))
+	}
+	if len(s.Links) != 6 {
+		t.Fatalf("links = %d, want 6 (3 PCIe + 1 DMI + 2 UPI)", len(s.Links))
+	}
+	if len(s.MCs) != 2 {
+		t.Fatalf("MCs = %d, want 2", len(s.MCs))
+	}
+	if len(s.PLLs) != 8 {
+		t.Fatalf("non-core PLLs = %d, want 8 (paper Sec 5.4)", len(s.PLLs))
+	}
+	if s.APMU == nil {
+		t.Fatal("CPC1A system must have an APMU")
+	}
+	if New(DefaultConfig(Cshallow)).APMU != nil {
+		t.Fatal("Cshallow system must not have an APMU")
+	}
+	if s.NICLink().Kind() != ios.PCIe {
+		t.Fatal("NIC should ride the first PCIe link")
+	}
+}
+
+// Paper Table 1, PC0idle row: all cores in CC1 → SoC 44 W, DRAM 5.5 W.
+func TestPC0IdlePowerMatchesTable1(t *testing.T) {
+	s := New(DefaultConfig(Cshallow))
+	s.Engine.Run(sim.Millisecond)
+	if !s.AllCoresIdle() {
+		t.Fatal("system should be idle")
+	}
+	socW, dramW := s.SoCPower(), s.DRAMPower()
+	if !approx(socW, 44.0, 0.5) {
+		t.Errorf("PC0idle SoC power %.3f W, want 44 W (Table 1)", socW)
+	}
+	if !approx(dramW, 5.5, 0.1) {
+		t.Errorf("PC0idle DRAM power %.3f W, want 5.5 W (Table 1)", dramW)
+	}
+	// Uncore+DRAM share: paper Sec. 2 says >65% of SoC+DRAM power.
+	coreW := 10 * 1.25
+	share := (socW + dramW - coreW) / (socW + dramW)
+	if share < 0.65 {
+		t.Errorf("uncore+DRAM share %.2f, paper says >0.65", share)
+	}
+}
+
+// Paper Table 1, PC1A row: SoC 27.5 W, DRAM 1.6 W.
+func TestPC1APowerMatchesTable1(t *testing.T) {
+	s := New(DefaultConfig(CPC1A))
+	s.Engine.Run(sim.Millisecond)
+	if s.PackageState() != pmu.PC1A {
+		t.Fatalf("state %v, want PC1A", s.PackageState())
+	}
+	socW, dramW := s.SoCPower(), s.DRAMPower()
+	if !approx(socW, 27.5, 0.5) {
+		t.Errorf("PC1A SoC power %.3f W, want 27.5 W (Table 1)", socW)
+	}
+	if !approx(dramW, 1.6, 0.1) {
+		t.Errorf("PC1A DRAM power %.3f W, want 1.6 W (Table 1)", dramW)
+	}
+}
+
+// Paper Table 1, PC6 row: SoC 12 W, DRAM 0.5 W.
+func TestPC6PowerMatchesTable1(t *testing.T) {
+	s := New(DefaultConfig(Cdeep))
+	s.ForceAllCC6()
+	if s.PackageState() != pmu.PC6 {
+		t.Fatalf("state %v, want PC6", s.PackageState())
+	}
+	socW, dramW := s.SoCPower(), s.DRAMPower()
+	if !approx(socW, 12.0, 0.5) {
+		t.Errorf("PC6 SoC power %.3f W, want 12 W (Table 1)", socW)
+	}
+	if !approx(dramW, 0.5, 0.1) {
+		t.Errorf("PC6 DRAM power %.3f W, want 0.5 W (Table 1)", dramW)
+	}
+}
+
+// Paper Table 1, PC0 row: all cores active ≤ 85 W SoC.
+func TestPC0ActivePower(t *testing.T) {
+	s := New(DefaultConfig(Cshallow))
+	for _, c := range s.Cores {
+		c.Enqueue(cpu.Work{Duration: sim.Millisecond})
+	}
+	s.Engine.Run(500 * sim.Microsecond)
+	socW := s.SoCPower()
+	if socW > 85.5 || socW < 80 {
+		t.Errorf("PC0 all-active SoC power %.3f W, want ≤85 W and near it", socW)
+	}
+}
+
+// Cshallow never leaves PC0; CPC1A reaches PC1A; Cdeep reaches PC6.
+func TestPackageStatePerConfig(t *testing.T) {
+	sh := New(DefaultConfig(Cshallow))
+	sh.Engine.Run(10 * sim.Millisecond)
+	if sh.PackageState() != pmu.PC0 {
+		t.Errorf("Cshallow state %v, want PC0", sh.PackageState())
+	}
+	ap := New(DefaultConfig(CPC1A))
+	ap.Engine.Run(10 * sim.Millisecond)
+	if ap.PackageState() != pmu.PC1A {
+		t.Errorf("CPC1A state %v, want PC1A", ap.PackageState())
+	}
+	dp := New(DefaultConfig(Cdeep))
+	dp.ForceAllCC6()
+	if dp.PackageState() != pmu.PC6 {
+		t.Errorf("Cdeep state %v, want PC6", dp.PackageState())
+	}
+}
+
+func TestMemAccessInterleaves(t *testing.T) {
+	s := New(DefaultConfig(Cshallow))
+	s.MemAccess(4)
+	s.Engine.Run(sim.Microsecond)
+	if s.MCs[0].Accesses() != 2 || s.MCs[1].Accesses() != 2 {
+		t.Fatalf("accesses %d/%d, want 2/2 interleaved", s.MCs[0].Accesses(), s.MCs[1].Accesses())
+	}
+}
+
+func TestAblationNoCLMRetention(t *testing.T) {
+	cfg := DefaultConfig(CPC1A)
+	cfg.NoCLMRetention = true
+	s := New(cfg)
+	s.Engine.Run(sim.Millisecond)
+	if s.PackageState() != pmu.PC1A {
+		t.Fatal("ablated system should still enter PC1A")
+	}
+	// Without CLMR the CLM stays at gated power (9.0) instead of 4.6:
+	// PC1A SoC power rises by 4.4 W.
+	if !approx(s.SoCPower(), 27.5+4.4, 0.5) {
+		t.Errorf("no-CLMR PC1A SoC power %.3f, want ~31.9", s.SoCPower())
+	}
+}
+
+func TestAblationNoCKEOff(t *testing.T) {
+	cfg := DefaultConfig(CPC1A)
+	cfg.NoCKEOff = true
+	s := New(cfg)
+	s.Engine.Run(sim.Millisecond)
+	// DRAM stays at active power.
+	if !approx(s.DRAMPower(), 5.5, 0.1) {
+		t.Errorf("no-CKE DRAM power %.3f, want 5.5", s.DRAMPower())
+	}
+}
+
+func TestAblationNoIOStandby(t *testing.T) {
+	cfg := DefaultConfig(CPC1A)
+	cfg.NoIOStandby = true
+	s := New(cfg)
+	s.Engine.Run(sim.Millisecond)
+	// Links draw active power even in "standby": +30% of 9 W = +2.7 W.
+	if !approx(s.SoCPower(), 27.5+2.7, 0.5) {
+		t.Errorf("no-IOSM PC1A SoC power %.3f, want ~30.2", s.SoCPower())
+	}
+}
+
+func TestInvalidCoreCountPanics(t *testing.T) {
+	cfg := DefaultConfig(Cshallow)
+	cfg.CoreCount = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero cores should panic")
+		}
+	}()
+	New(cfg)
+}
+
+// DRAM access from PC1A pays the CKE exit (24 ns), not the multi-µs
+// self-refresh exit PC6 would impose.
+func TestPC1AMemoryWakePenalty(t *testing.T) {
+	s := New(DefaultConfig(CPC1A))
+	s.Engine.Run(sim.Millisecond)
+	if s.MCs[0].Mode() != dram.PowerDown {
+		t.Fatal("MC should be in CKE-off in PC1A")
+	}
+	lat := s.MCs[0].Access(nil)
+	base := s.Cfg.MCParams.AccessLatency
+	if lat != base+24*sim.Nanosecond {
+		t.Fatalf("PC1A memory access latency %v, want base+24ns", lat)
+	}
+}
+
+// Golden decomposition: the per-channel breakdown at PC0idle must match
+// the DESIGN.md calibration table.
+func TestGoldenPowerBreakdown(t *testing.T) {
+	s := New(DefaultConfig(Cshallow))
+	s.Engine.Run(sim.Millisecond)
+	checks := map[string]float64{
+		"core0":    1.25,
+		"clm":      18.1,
+		"northcap": 3.4,
+		"pcie0":    1.4,
+		"dmi0":     1.4,
+		"upi0":     1.7,
+		"mc0":      0.5,
+		"clm.pll":  0.007,
+		"gpmu.pll": 0.007,
+	}
+	for name, want := range checks {
+		ch := s.Meter.Lookup(name)
+		if ch == nil {
+			t.Errorf("channel %q missing", name)
+			continue
+		}
+		if got := ch.Watts(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v W, want %v", name, got, want)
+		}
+	}
+	dimm := s.Meter.Lookup("dimm0")
+	if dimm == nil || math.Abs(dimm.Watts()-2.75) > 1e-9 {
+		t.Error("dimm0 should idle at 2.75 W")
+	}
+}
+
+func TestPLLsOffInPC1APanics(t *testing.T) {
+	cfg := DefaultConfig(CPC1A)
+	cfg.PLLsOffInPC1A = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PLLsOffInPC1A assembly should panic (ablation is experiment-driven)")
+		}
+	}()
+	New(cfg)
+}
+
+func TestPackageStateCdeepActive(t *testing.T) {
+	s := New(DefaultConfig(Cdeep))
+	s.Cores[0].Enqueue(cpu.Work{Duration: 50 * sim.Microsecond})
+	s.Engine.Run(10 * sim.Microsecond)
+	if s.PackageState() != pmu.PC0 {
+		t.Fatalf("state %v with a core running, want PC0", s.PackageState())
+	}
+}
+
+func TestDisablePkgCStates(t *testing.T) {
+	cfg := DefaultConfig(Cdeep)
+	cfg.DisablePkgCStates = true
+	s := New(cfg)
+	s.ForceAllCC6()
+	if s.PackageState() != pmu.PC0 {
+		t.Fatalf("state %v with package C-states disabled, want PC0", s.PackageState())
+	}
+	// Cores are still deep: this is the Sec. 5.4 Pcores measurement rig.
+	for _, c := range s.Cores {
+		if c.State() != cpu.CC6 {
+			t.Fatalf("core %d in %v, want CC6", c.ID(), c.State())
+		}
+	}
+}

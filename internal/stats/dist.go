@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// RNG wraps math/rand/v2 with a fixed, reproducible seed so every
+// simulation run is deterministic. Two RNGs created with the same seed
+// produce identical streams.
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG creates a deterministic generator from a seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Fork derives an independent child stream; successive calls yield
+// distinct streams. It is used to give each core / link / generator its
+// own RNG while keeping whole-run determinism.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Dist is a distribution over positive float64 values (typically seconds
+// or nanoseconds of virtual time).
+type Dist interface {
+	// Sample draws one value using the provided RNG.
+	Sample(r *RNG) float64
+	// Mean returns the distribution's expected value.
+	Mean() float64
+	// String describes the distribution for experiment reports.
+	String() string
+}
+
+// Deterministic is a point mass at V.
+type Deterministic struct{ V float64 }
+
+func (d Deterministic) Sample(*RNG) float64 { return d.V }
+func (d Deterministic) Mean() float64       { return d.V }
+func (d Deterministic) String() string      { return fmt.Sprintf("det(%g)", d.V) }
+
+// Exponential has rate 1/MeanV.
+type Exponential struct{ MeanV float64 }
+
+func (d Exponential) Sample(r *RNG) float64 { return r.ExpFloat64() * d.MeanV }
+func (d Exponential) Mean() float64         { return d.MeanV }
+func (d Exponential) String() string        { return fmt.Sprintf("exp(mean=%g)", d.MeanV) }
+
+// Uniform over [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+func (d Uniform) Sample(r *RNG) float64 { return d.Lo + r.Float64()*(d.Hi-d.Lo) }
+func (d Uniform) Mean() float64         { return (d.Lo + d.Hi) / 2 }
+func (d Uniform) String() string        { return fmt.Sprintf("uniform[%g,%g)", d.Lo, d.Hi) }
+
+// LogNormal is parameterized by its *actual* mean and the sigma of the
+// underlying normal, which is the natural way to express "service time
+// averages 16 µs with moderate skew".
+type LogNormal struct {
+	MeanV float64 // E[X]
+	Sigma float64 // stddev of log X
+}
+
+func (d LogNormal) mu() float64 { return math.Log(d.MeanV) - d.Sigma*d.Sigma/2 }
+
+func (d LogNormal) Sample(r *RNG) float64 {
+	return math.Exp(d.mu() + d.Sigma*r.NormFloat64())
+}
+
+func (d LogNormal) Mean() float64 { return d.MeanV }
+func (d LogNormal) String() string {
+	return fmt.Sprintf("lognormal(mean=%g,sigma=%g)", d.MeanV, d.Sigma)
+}
+
+// BoundedPareto is a Pareto distribution with shape Alpha truncated to
+// [Lo, Hi]. Heavy-tailed service times (e.g. occasional large multigets
+// or slow OLTP transactions) use it.
+type BoundedPareto struct {
+	Alpha  float64
+	Lo, Hi float64
+}
+
+func (d BoundedPareto) Sample(r *RNG) float64 {
+	// Inverse-CDF sampling for the truncated Pareto.
+	u := r.Float64()
+	la := math.Pow(d.Lo, d.Alpha)
+	ha := math.Pow(d.Hi, d.Alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/d.Alpha)
+}
+
+func (d BoundedPareto) Mean() float64 {
+	if d.Alpha == 1 {
+		return d.Lo * d.Hi / (d.Hi - d.Lo) * math.Log(d.Hi/d.Lo)
+	}
+	a := d.Alpha
+	la := math.Pow(d.Lo, a)
+	return la / (1 - math.Pow(d.Lo/d.Hi, a)) * a / (a - 1) *
+		(1/math.Pow(d.Lo, a-1) - 1/math.Pow(d.Hi, a-1))
+}
+
+func (d BoundedPareto) String() string {
+	return fmt.Sprintf("pareto(a=%g,[%g,%g])", d.Alpha, d.Lo, d.Hi)
+}
+
+// Mixture draws from one of several component distributions with the
+// given weights. Weights need not sum to one; they are normalized.
+type Mixture struct {
+	Components []Dist
+	Weights    []float64
+}
+
+func (d Mixture) Sample(r *RNG) float64 {
+	total := 0.0
+	for _, w := range d.Weights {
+		total += w
+	}
+	u := r.Float64() * total
+	for i, w := range d.Weights {
+		if u < w {
+			return d.Components[i].Sample(r)
+		}
+		u -= w
+	}
+	return d.Components[len(d.Components)-1].Sample(r)
+}
+
+func (d Mixture) Mean() float64 {
+	total, m := 0.0, 0.0
+	for i, w := range d.Weights {
+		total += w
+		m += w * d.Components[i].Mean()
+	}
+	return m / total
+}
+
+func (d Mixture) String() string { return fmt.Sprintf("mixture(%d)", len(d.Components)) }
+
+// Shifted adds a constant offset to another distribution (e.g. a fixed
+// protocol-processing floor under a variable service body).
+type Shifted struct {
+	Base   Dist
+	Offset float64
+}
+
+func (d Shifted) Sample(r *RNG) float64 { return d.Offset + d.Base.Sample(r) }
+func (d Shifted) Mean() float64         { return d.Offset + d.Base.Mean() }
+func (d Shifted) String() string        { return fmt.Sprintf("%v+%g", d.Base, d.Offset) }
+
+// ArrivalProcess produces a stream of inter-arrival gaps. Implementations
+// must be deterministic given the RNG stream.
+type ArrivalProcess interface {
+	// NextGap returns the time to the next arrival.
+	NextGap(r *RNG) float64
+	// Rate returns the long-run average arrival rate (events/second).
+	Rate() float64
+	String() string
+}
+
+// Poisson is a memoryless arrival process with the given rate.
+type Poisson struct{ RateV float64 }
+
+func (p Poisson) NextGap(r *RNG) float64 { return r.ExpFloat64() / p.RateV }
+func (p Poisson) Rate() float64          { return p.RateV }
+func (p Poisson) String() string         { return fmt.Sprintf("poisson(%g/s)", p.RateV) }
+
+// MMPP2 is a two-state Markov-modulated Poisson process: a bursty arrival
+// model that alternates between a high-rate and a low-rate phase with
+// exponentially distributed phase durations. Datacenter request streams
+// are well known to be bursty; mutilate's ETC reproduction exhibits
+// exactly this on/off structure.
+type MMPP2 struct {
+	RateHigh, RateLow float64 // arrival rate in each phase
+	MeanHigh, MeanLow float64 // mean phase durations (seconds)
+
+	inHigh    bool
+	phaseLeft float64
+	init      bool
+}
+
+// NewMMPP2 builds a bursty process whose long-run rate equals rate, with
+// burstiness b = RateHigh/RateLow and equal expected arrivals per phase.
+func NewMMPP2(rate, burstiness, meanPhase float64) *MMPP2 {
+	// Choose phase rates so that time-average rate is `rate` with equal
+	// time in each phase.
+	high := 2 * rate * burstiness / (1 + burstiness)
+	low := 2 * rate / (1 + burstiness)
+	return &MMPP2{RateHigh: high, RateLow: low, MeanHigh: meanPhase, MeanLow: meanPhase}
+}
+
+func (p *MMPP2) Rate() float64 {
+	wh, wl := p.MeanHigh, p.MeanLow
+	return (p.RateHigh*wh + p.RateLow*wl) / (wh + wl)
+}
+
+func (p *MMPP2) String() string {
+	return fmt.Sprintf("mmpp2(high=%g/s low=%g/s)", p.RateHigh, p.RateLow)
+}
+
+// NextGap advances the modulating chain and returns the next gap.
+func (p *MMPP2) NextGap(r *RNG) float64 {
+	if !p.init {
+		p.init = true
+		p.inHigh = r.Float64() < 0.5
+		p.phaseLeft = p.phaseDur(r)
+	}
+	gap := 0.0
+	for {
+		rate := p.RateLow
+		if p.inHigh {
+			rate = p.RateHigh
+		}
+		g := r.ExpFloat64() / rate
+		if g <= p.phaseLeft {
+			p.phaseLeft -= g
+			return gap + g
+		}
+		// Phase expires before the next arrival: switch phases and keep
+		// accumulating elapsed time.
+		gap += p.phaseLeft
+		p.inHigh = !p.inHigh
+		p.phaseLeft = p.phaseDur(r)
+	}
+}
+
+func (p *MMPP2) phaseDur(r *RNG) float64 {
+	if p.inHigh {
+		return r.ExpFloat64() * p.MeanHigh
+	}
+	return r.ExpFloat64() * p.MeanLow
+}

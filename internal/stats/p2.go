@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// P2Quantile is the Jain–Chlamtac P² streaming quantile estimator: it
+// tracks one quantile of a stream in O(1) space with five markers and
+// parabolic interpolation, without storing observations. It is used
+// where a full histogram is overkill — e.g. per-core wake-latency tails
+// inside tight simulation loops.
+type P2Quantile struct {
+	q float64
+
+	n       int        // observations seen
+	heights [5]float64 // marker heights
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	incr    [5]float64 // desired position increments
+	init    []float64  // first five observations
+}
+
+// NewP2Quantile creates an estimator for quantile q in (0, 1).
+func NewP2Quantile(q float64) *P2Quantile {
+	if q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("stats: P² quantile %g out of (0,1)", q))
+	}
+	return &P2Quantile{q: q}
+}
+
+// Q returns the tracked quantile parameter.
+func (p *P2Quantile) Q() float64 { return p.q }
+
+// Count returns the number of observations.
+func (p *P2Quantile) Count() int { return p.n }
+
+// Add incorporates one observation.
+func (p *P2Quantile) Add(x float64) {
+	p.n++
+	if p.n <= 5 {
+		p.init = append(p.init, x)
+		if p.n == 5 {
+			sort.Float64s(p.init)
+			copy(p.heights[:], p.init)
+			p.pos = [5]float64{1, 2, 3, 4, 5}
+			p.want = [5]float64{1, 1 + 2*p.q, 1 + 4*p.q, 3 + 2*p.q, 5}
+			p.incr = [5]float64{0, p.q / 2, p.q, (1 + p.q) / 2, 1}
+			p.init = nil
+		}
+		return
+	}
+
+	// Find the cell k such that heights[k] <= x < heights[k+1], with
+	// boundary extension.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.want {
+		p.want[i] += p.incr[i]
+	}
+
+	// Adjust the three interior markers.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+func (p *P2Quantile) parabolic(i int, d float64) float64 {
+	return p.heights[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+func (p *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.heights[i] + d*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact order statistic.
+func (p *P2Quantile) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		c := make([]float64, len(p.init))
+		copy(c, p.init)
+		sort.Float64s(c)
+		idx := int(p.q * float64(len(c)))
+		if idx >= len(c) {
+			idx = len(c) - 1
+		}
+		return c[idx]
+	}
+	return p.heights[2]
+}

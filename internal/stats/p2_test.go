@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestP2Median(t *testing.T) {
+	p := NewP2Quantile(0.5)
+	rng := NewRNG(1)
+	var data []float64
+	for i := 0; i < 100000; i++ {
+		x := rng.NormFloat64()*10 + 50
+		p.Add(x)
+		data = append(data, x)
+	}
+	exact := ExactQuantile(data, 0.5)
+	if math.Abs(p.Value()-exact) > 0.3 {
+		t.Fatalf("P² median %v vs exact %v", p.Value(), exact)
+	}
+}
+
+func TestP2Tail(t *testing.T) {
+	for _, q := range []float64{0.9, 0.95, 0.99} {
+		p := NewP2Quantile(q)
+		rng := NewRNG(2)
+		var data []float64
+		for i := 0; i < 200000; i++ {
+			x := rng.ExpFloat64() * 100e-6 // latency-like
+			p.Add(x)
+			data = append(data, x)
+		}
+		exact := ExactQuantile(data, q)
+		if math.Abs(p.Value()-exact)/exact > 0.05 {
+			t.Errorf("P² q%.2f = %v vs exact %v", q, p.Value(), exact)
+		}
+	}
+}
+
+func TestP2SmallCounts(t *testing.T) {
+	p := NewP2Quantile(0.5)
+	if p.Value() != 0 {
+		t.Fatal("empty estimator should read 0")
+	}
+	p.Add(3)
+	if p.Value() != 3 {
+		t.Fatalf("single observation: %v", p.Value())
+	}
+	p.Add(1)
+	p.Add(2)
+	v := p.Value()
+	if v < 1 || v > 3 {
+		t.Fatalf("3-observation median %v out of range", v)
+	}
+	if p.Count() != 3 {
+		t.Fatal("count wrong")
+	}
+	if p.Q() != 0.5 {
+		t.Fatal("Q wrong")
+	}
+}
+
+func TestP2ConstructorPanics(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("q=%v should panic", q)
+				}
+			}()
+			NewP2Quantile(q)
+		}()
+	}
+}
+
+// Property: the estimate always lies within the observed min/max.
+func TestPropertyP2Bounded(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		rng := NewRNG(seed)
+		p := NewP2Quantile(0.9)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		count := int(n%5000) + 6
+		for i := 0; i < count; i++ {
+			x := rng.Float64()*1000 - 500
+			p.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		v := p.Value()
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on sorted-uniform data the q-quantile estimate approaches q.
+func TestPropertyP2Uniform(t *testing.T) {
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.95} {
+		p := NewP2Quantile(q)
+		rng := NewRNG(77)
+		for i := 0; i < 100000; i++ {
+			p.Add(rng.Float64())
+		}
+		if math.Abs(p.Value()-q) > 0.02 {
+			t.Errorf("uniform q%.2f estimate %v", q, p.Value())
+		}
+	}
+}

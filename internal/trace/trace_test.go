@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"agilepkgc/internal/cpu"
+	"agilepkgc/internal/sim"
+)
+
+func mkCores(eng *sim.Engine, n int) []*cpu.Core {
+	cores := make([]*cpu.Core, n)
+	for i := range cores {
+		cores[i] = cpu.NewCore(eng, i, cpu.DefaultParams(),
+			cpu.ShallowGovernor{}, cpu.PerformancePolicy{Nominal: 2.2}, nil)
+	}
+	return cores
+}
+
+func TestIdleSystemFullResidency(t *testing.T) {
+	eng := sim.NewEngine()
+	cores := mkCores(eng, 4)
+	tr := New(eng, cores)
+	eng.Run(10 * sim.Millisecond)
+	tr.Finalize()
+
+	if f := tr.AllIdleFraction(); f != 1.0 {
+		t.Fatalf("AllIdleFraction = %v on an idle system", f)
+	}
+	if f := tr.CensoredAllIdleFraction(); f != 1.0 {
+		t.Fatalf("censored fraction = %v, the single long period passes the floor", f)
+	}
+	if r := tr.MeanResidency(cpu.CC1); r != 1.0 {
+		t.Fatalf("CC1 residency = %v", r)
+	}
+	if tr.IdlePeriodCount() != 1 {
+		t.Fatalf("idle periods = %d (the open one is closed by Finalize)", tr.IdlePeriodCount())
+	}
+}
+
+func TestSingleBusyEpisode(t *testing.T) {
+	eng := sim.NewEngine()
+	cores := mkCores(eng, 2)
+	tr := New(eng, cores)
+	eng.Run(sim.Millisecond)
+	cores[0].Enqueue(cpu.Work{Duration: 100 * sim.Microsecond})
+	eng.Run(10 * sim.Millisecond)
+	tr.Finalize()
+
+	// Two idle periods: [0, wake-complete) and [re-idle, end).
+	if tr.IdlePeriodCount() != 2 {
+		t.Fatalf("idle periods = %d, want 2", tr.IdlePeriodCount())
+	}
+	// Core 0 spent ~100us of 10ms in CC0 (plus the 1us idle-entry
+	// window): ~1%.
+	r := tr.CoreResidency(0, cpu.CC0)
+	if r < 0.005 || r > 0.02 {
+		t.Fatalf("core0 CC0 residency %v, want ~0.01", r)
+	}
+	// Core 1 never woke.
+	if tr.CoreResidency(1, cpu.CC1) != 1.0 {
+		t.Fatalf("core1 CC1 residency %v", tr.CoreResidency(1, cpu.CC1))
+	}
+	// All-idle fraction ≈ 1 - (wake 2us + 100us + idle entry 1us)/10ms.
+	f := tr.AllIdleFraction()
+	want := 1.0 - 103e-6/10e-3
+	if math.Abs(f-want) > 0.003 {
+		t.Fatalf("AllIdleFraction %v, want ~%v", f, want)
+	}
+}
+
+func TestCensoringDropsShortPeriods(t *testing.T) {
+	eng := sim.NewEngine()
+	cores := mkCores(eng, 1)
+	tr := New(eng, cores)
+	// Alternate: 3us busy, ~5us idle (below the 10us floor), many times;
+	// then one long 100ms idle tail.
+	for i := 0; i < 100; i++ {
+		eng.Run(eng.Now() + 5*sim.Microsecond)
+		cores[0].Enqueue(cpu.Work{Duration: 3 * sim.Microsecond})
+		eng.Run(eng.Now() + 6*sim.Microsecond)
+	}
+	eng.Run(eng.Now() + 100*sim.Millisecond)
+	tr.Finalize()
+
+	trueF := tr.AllIdleFraction()
+	censF := tr.CensoredAllIdleFraction()
+	if censF >= trueF {
+		t.Fatalf("censored %v must be < true %v when short gaps exist", censF, trueF)
+	}
+	if tr.CensoredIdlePeriodCount() >= tr.IdlePeriodCount() {
+		t.Fatalf("censored count %d should be below total %d",
+			tr.CensoredIdlePeriodCount(), tr.IdlePeriodCount())
+	}
+}
+
+func TestIdlePeriodHistogram(t *testing.T) {
+	eng := sim.NewEngine()
+	cores := mkCores(eng, 1)
+	tr := New(eng, cores)
+	// Deterministic idle gaps of ~50us (within 20-200us band).
+	for i := 0; i < 50; i++ {
+		cores[0].Enqueue(cpu.Work{Duration: 10 * sim.Microsecond})
+		eng.Run(eng.Now() + 63*sim.Microsecond) // 2 wake + 10 run + 1 entry + 50 idle
+	}
+	tr.Finalize()
+	h := tr.IdlePeriods()
+	if h.Count() == 0 {
+		t.Fatal("no idle periods recorded")
+	}
+	frac := h.FractionBetween(20e-6, 200e-6)
+	if frac < 0.9 {
+		t.Fatalf("fraction of idle periods in 20-200us = %v, want ~1", frac)
+	}
+}
+
+func TestTransitionsCounted(t *testing.T) {
+	eng := sim.NewEngine()
+	cores := mkCores(eng, 2)
+	tr := New(eng, cores)
+	for i := 0; i < 10; i++ {
+		cores[i%2].Enqueue(cpu.Work{Duration: 5 * sim.Microsecond})
+		eng.Run(eng.Now() + 100*sim.Microsecond)
+	}
+	tr.Finalize()
+	// Each episode: CC1→CC0 and CC0→CC1 = 2 transitions.
+	if tr.Transitions() != 20 {
+		t.Fatalf("transitions = %d, want 20", tr.Transitions())
+	}
+}
+
+func TestActiveCoresAfterIdle(t *testing.T) {
+	eng := sim.NewEngine()
+	cores := mkCores(eng, 4)
+	tr := New(eng, cores)
+	eng.Run(sim.Millisecond)
+	// Wake exactly one core per episode.
+	for i := 0; i < 20; i++ {
+		cores[0].Enqueue(cpu.Work{Duration: 20 * sim.Microsecond})
+		eng.Run(eng.Now() + 500*sim.Microsecond)
+	}
+	tr.Finalize()
+	s := tr.ActiveCoresAfterIdle()
+	if s.Count() == 0 {
+		t.Fatal("no samples")
+	}
+	if s.Mean() < 0.99 || s.Mean() > 1.5 {
+		t.Fatalf("mean active-after-idle %v, want ~1 (single-core wakes)", s.Mean())
+	}
+}
+
+func TestElapsed(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Run(5 * sim.Millisecond)
+	cores := mkCores(eng, 1)
+	tr := New(eng, cores)
+	eng.Run(eng.Now() + 7*sim.Millisecond)
+	if tr.Elapsed() != 7*sim.Millisecond {
+		t.Fatalf("Elapsed = %v, want 7ms (tracer attached late)", tr.Elapsed())
+	}
+}
+
+func TestResidencySumsToOne(t *testing.T) {
+	eng := sim.NewEngine()
+	cores := mkCores(eng, 3)
+	tr := New(eng, cores)
+	for i := 0; i < 30; i++ {
+		cores[i%3].Enqueue(cpu.Work{Duration: sim.Duration(5+i) * sim.Microsecond})
+		eng.Run(eng.Now() + 70*sim.Microsecond)
+	}
+	tr.Finalize()
+	for i := range cores {
+		sum := 0.0
+		for _, s := range []cpu.CState{cpu.CC0, cpu.CC1, cpu.CC1E, cpu.CC6} {
+			sum += tr.CoreResidency(i, s)
+		}
+		if math.Abs(sum-1.0) > 1e-9 {
+			t.Fatalf("core %d residencies sum to %v", i, sum)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"agilepkgc/internal/signal"
+	"agilepkgc/internal/sim"
+)
+
+// SignalProbe records level changes on a set of wires (the Fig. 3 signal
+// fabric: InCC1, InL0s, AllowL0s, Allow_CKE_OFF, Ret, PwrOk, InPC1A...)
+// and dumps them as a Value Change Dump (VCD) file viewable in any
+// waveform viewer — the natural debugging artifact for a hardware flow
+// like the APMU FSM.
+type SignalProbe struct {
+	eng     *sim.Engine
+	names   []string
+	ids     map[string]string // wire name → VCD identifier
+	init    map[string]bool   // level at probe attach
+	chang   []sigChange
+	max     int
+	dropped uint64
+}
+
+type sigChange struct {
+	at    sim.Time
+	name  string
+	level bool
+}
+
+// NewSignalProbe attaches to the given wires. maxChanges bounds memory
+// (older changes are retained; once full, further changes are dropped
+// and counted — waveforms are usually examined from t=0).
+func NewSignalProbe(eng *sim.Engine, maxChanges int, wires ...*signal.Signal) *SignalProbe {
+	if maxChanges < 1 {
+		panic("trace: maxChanges must be >= 1")
+	}
+	p := &SignalProbe{
+		eng:  eng,
+		ids:  make(map[string]string),
+		init: make(map[string]bool),
+		max:  maxChanges,
+	}
+	for i, w := range wires {
+		name := w.Name()
+		if _, dup := p.ids[name]; dup {
+			panic(fmt.Sprintf("trace: duplicate wire name %q", name))
+		}
+		p.names = append(p.names, name)
+		p.ids[name] = vcdID(i)
+		p.init[name] = w.Level()
+		w.Subscribe(func(level bool) {
+			if len(p.chang) >= p.max {
+				p.dropped++
+				return
+			}
+			p.chang = append(p.chang, sigChange{at: eng.Now(), name: name, level: level})
+		})
+	}
+	return p
+}
+
+// Changes returns the number of recorded level changes.
+func (p *SignalProbe) Changes() int { return len(p.chang) }
+
+// Dropped returns how many changes exceeded the buffer.
+func (p *SignalProbe) Dropped() uint64 { return p.dropped }
+
+// WriteVCD emits the waveform in VCD format with 1 ns timescale.
+func (p *SignalProbe) WriteVCD(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("$timescale 1ns $end\n$scope module apc $end\n")
+	for _, name := range p.names {
+		fmt.Fprintf(&b, "$var wire 1 %s %s $end\n", p.ids[name], sanitize(name))
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+
+	// Initial values.
+	b.WriteString("#0\n$dumpvars\n")
+	for _, name := range p.names {
+		fmt.Fprintf(&b, "%s%s\n", bit(p.init[name]), p.ids[name])
+	}
+	b.WriteString("$end\n")
+
+	// Changes, grouped by timestamp (already time-ordered — the engine
+	// is single-threaded and monotonic).
+	sort.SliceStable(p.chang, func(i, j int) bool { return p.chang[i].at < p.chang[j].at })
+	var last sim.Time = -1
+	for _, c := range p.chang {
+		if c.at != last {
+			fmt.Fprintf(&b, "#%d\n", int64(c.at))
+			last = c.at
+		}
+		fmt.Fprintf(&b, "%s%s\n", bit(c.level), p.ids[c.name])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func bit(level bool) string {
+	if level {
+		return "1"
+	}
+	return "0"
+}
+
+// vcdID maps an index to a compact printable VCD identifier.
+func vcdID(i int) string {
+	const chars = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if i < len(chars) {
+		return string(chars[i])
+	}
+	return fmt.Sprintf("z%d", i)
+}
+
+// sanitize makes a wire name legal as a VCD reference.
+func sanitize(name string) string {
+	return strings.NewReplacer(" ", "_", "$", "_").Replace(name)
+}
