@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race bench clean
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The parallel sweep runner and anything it touches, under the race
+# detector.
+race:
+	$(GO) test -race ./internal/experiments/ ./internal/sim/
+
+# Full benchmark suite: benchstat-comparable text in bench.txt plus a
+# machine-readable snapshot in BENCH_pr1.json recording the perf
+# trajectory.
+bench:
+	scripts/bench.sh
+
+clean:
+	rm -f bench.txt

@@ -18,6 +18,7 @@ package agilepkgc_test
 //	BenchmarkArea    — die-area budget
 
 import (
+	"runtime"
 	"testing"
 
 	"agilepkgc/internal/experiments"
@@ -26,8 +27,17 @@ import (
 
 // benchOptions keeps per-iteration virtual time moderate so the full
 // bench suite completes quickly while still exercising every flow.
+// Sweeps run serially so per-figure numbers are comparable across
+// machines; the *Parallel variants below measure the fan-out speedup.
 func benchOptions() experiments.Options {
-	return experiments.Options{Duration: 100 * sim.Millisecond, Seed: 1}
+	return experiments.Options{Duration: 100 * sim.Millisecond, Seed: 1, Parallelism: 1}
+}
+
+// benchParallelOptions fans sweep points across all CPUs.
+func benchParallelOptions() experiments.Options {
+	o := benchOptions()
+	o.Parallelism = runtime.GOMAXPROCS(0)
+	return o
 }
 
 func BenchmarkTable1(b *testing.B) {
@@ -113,6 +123,30 @@ func BenchmarkFig7(b *testing.B) {
 	b.ReportMetric(r.Points[0].SavingsFrac*100, "savings@4K-%")
 	b.ReportMetric(r.Points[1].SavingsFrac*100, "savings@50K-%")
 	b.ReportMetric(r.Points[1].ImpactFrac*100, "latency-impact@50K-%")
+}
+
+// BenchmarkFig5Parallel / BenchmarkFig7Parallel are the same sweeps as
+// their serial counterparts with points fanned across all CPUs; the
+// ns/op ratio against the serial bench is the sweep-layer speedup, and
+// the results are bit-identical (TestSerialParallelBitIdentical).
+func BenchmarkFig5Parallel(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig5(benchParallelOptions(), []float64{4000, 50000, 300000})
+	}
+	low := r.Points[0]
+	b.ReportMetric(low.DeepMean/low.ShallowMean, "Cdeep/Cshallow-mean@4K-x")
+}
+
+func BenchmarkFig7Parallel(b *testing.B) {
+	b.ReportAllocs()
+	var r *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig7(benchParallelOptions(), []float64{4000, 50000})
+	}
+	b.ReportMetric(r.Idle.SavingsVsShallow*100, "idle-savings-%")
+	b.ReportMetric(r.Points[1].SavingsFrac*100, "savings@50K-%")
 }
 
 func BenchmarkFig8(b *testing.B) {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	apcsim [-duration 2s] [-seed 1] [-csv dir] <experiment>...
+//	apcsim [-duration 2s] [-seed 1] [-parallel N] [-csv dir] <experiment>...
 //	apcsim all
 //
 // Experiments: table1 table2 sec54 sec55 eq1 fig5 fig6 fig7 fig8 fig9
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"agilepkgc/internal/experiments"
@@ -82,6 +83,8 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second,
 		"virtual measurement window per operating point")
 	seed := flag.Uint64("seed", 1, "random seed for all generators")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"max sweep points simulated concurrently (1 = serial; results are identical either way)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV series into")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: apcsim [flags] <experiment>...\n")
@@ -100,8 +103,9 @@ func main() {
 	}
 
 	opt := experiments.Options{
-		Duration: sim.Duration(duration.Nanoseconds()),
-		Seed:     *seed,
+		Duration:    sim.Duration(duration.Nanoseconds()),
+		Seed:        *seed,
+		Parallelism: *parallel,
 	}
 
 	if *csvDir != "" {

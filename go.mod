@@ -1,0 +1,3 @@
+module agilepkgc
+
+go 1.24

@@ -61,7 +61,7 @@ type PLL struct {
 	relock sim.Duration
 	ch     *power.Channel
 
-	lockEv   *sim.Event
+	lockEv   sim.Event
 	onLocked []func()
 }
 
@@ -99,7 +99,7 @@ func (p *PLL) TurnOff() {
 		return
 	}
 	p.lockEv.Cancel()
-	p.lockEv = nil
+	p.lockEv = sim.Event{}
 	p.state = PLLOff
 	if p.ch != nil {
 		p.ch.Set(0)
@@ -117,7 +117,7 @@ func (p *PLL) TurnOn() {
 		p.ch.Set(ADPLLPowerWatts)
 	}
 	p.lockEv = p.eng.Schedule(p.relock, func() {
-		p.lockEv = nil
+		p.lockEv = sim.Event{}
 		p.state = PLLLocked
 		for _, fn := range p.onLocked {
 			fn()

@@ -73,7 +73,7 @@ type APMU struct {
 	state   pmu.PkgState // PC0, ACC1 or PC1A
 	exiting bool         // PC1A exit flow in flight
 
-	entryEv *sim.Event
+	entryEv sim.Event
 
 	onTransition []func(old, new pmu.PkgState)
 
@@ -218,7 +218,7 @@ func (a *APMU) onInL0s(level bool) {
 		a.wake("io-traffic")
 	} else if a.entryEv.Pending() {
 		a.entryEv.Cancel()
-		a.entryEv = nil
+		a.entryEv = sim.Event{}
 	}
 }
 
@@ -242,7 +242,7 @@ func (a *APMU) enterACC1() {
 // AllowL0s: links return to L0.
 func (a *APMU) leaveACC1() {
 	a.entryEv.Cancel()
-	a.entryEv = nil
+	a.entryEv = sim.Event{}
 	for _, l := range a.links {
 		l.AllowL0s().Unset()
 	}
@@ -256,7 +256,7 @@ func (a *APMU) armEntry() {
 	}
 	armedAt := a.eng.Now()
 	a.entryEv = a.eng.Schedule(a.cfg.cycle(), func() {
-		a.entryEv = nil
+		a.entryEv = sim.Event{}
 		// Conditions may have decayed during the FSM cycle.
 		if a.state != pmu.ACC1 || !a.inCC1.Level() || !a.inL0s.Level() {
 			return

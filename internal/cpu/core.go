@@ -271,9 +271,9 @@ type Core struct {
 	// CC1 or deeper. It drops the moment a wake begins.
 	inIdle *signal.Signal
 
-	idleEntry *sim.Event // pending idle-entry (kernel path) event
-	wakeEv    *sim.Event // pending C-state exit completion
-	workEv    *sim.Event // pending work completion
+	idleEntry sim.Event // pending idle-entry (kernel path) event
+	wakeEv    sim.Event // pending C-state exit completion
+	workEv    sim.Event // pending work completion
 
 	idleStart  sim.Time
 	busyStart  sim.Time
@@ -387,7 +387,7 @@ func (c *Core) maybeStart() {
 	// the C-state was entered, so there is no exit cost.
 	if c.idleEntry.Pending() {
 		c.idleEntry.Cancel()
-		c.idleEntry = nil
+		c.idleEntry = sim.Event{}
 	}
 	if c.state.Idle() {
 		// Begin C-state exit. The InCC1 wire drops immediately: the
@@ -398,7 +398,7 @@ func (c *Core) maybeStart() {
 		c.wakes[from]++
 		c.inIdle.Unset()
 		c.wakeEv = c.eng.Schedule(c.params.ExitLatency(from), func() {
-			c.wakeEv = nil
+			c.wakeEv = sim.Event{}
 			c.setState(CC0)
 			c.beginWork()
 		})
@@ -426,7 +426,7 @@ func (c *Core) beginWork() {
 		c.ch.Set(c.params.CC0Watts * ghz / c.params.NominalGHz)
 	}
 	c.workEv = c.eng.Schedule(scaled, func() {
-		c.workEv = nil
+		c.workEv = sim.Event{}
 		c.workDone++
 		c.noteBusy(c.eng.Now() - c.busyStart)
 		if w.OnDone != nil {
@@ -447,7 +447,7 @@ func (c *Core) armIdleEntry() {
 		return
 	}
 	c.idleEntry = c.eng.Schedule(c.params.IdleEntryDelay, func() {
-		c.idleEntry = nil
+		c.idleEntry = sim.Event{}
 		c.enterIdle()
 	})
 }

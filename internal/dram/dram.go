@@ -141,7 +141,7 @@ type MC struct {
 	// is non-blocking — but experiments use it for residency tracking.)
 	inCKEOff *signal.Signal
 
-	pending *sim.Event
+	pending sim.Event
 
 	mcCh   *power.Channel // Package domain
 	dramCh *power.Channel // DRAM domain
@@ -237,7 +237,7 @@ func (mc *MC) maybeEnterCKEOff() {
 		return
 	}
 	mc.pending = mc.eng.Schedule(mc.params.CKEEntry, func() {
-		mc.pending = nil
+		mc.pending = sim.Event{}
 		// Conditions may have changed during the 10 ns entry.
 		if mc.mode != Active || !mc.allowCKEOff.Level() || !mc.Idle() {
 			return
@@ -256,7 +256,7 @@ func (mc *MC) exitToActive(lat sim.Duration) {
 	mc.inCKEOff.Unset()
 	mc.setPower()
 	mc.pending = mc.eng.Schedule(lat, func() {
-		mc.pending = nil
+		mc.pending = sim.Event{}
 		mc.drainOrIdle()
 	})
 }
@@ -284,7 +284,7 @@ func (mc *MC) Access(done func()) sim.Duration {
 	default:
 		// An in-flight CKE entry is aborted by traffic.
 		mc.pending.Cancel()
-		mc.pending = nil
+		mc.pending = sim.Event{}
 	}
 	total := penalty + mc.params.AccessLatency
 	mc.eng.Schedule(total, func() {
@@ -341,7 +341,7 @@ func (mc *MC) EnterSelfRefresh(done func()) {
 	}
 	mc.pending.Cancel()
 	mc.pending = mc.eng.Schedule(mc.params.SREntry, func() {
-		mc.pending = nil
+		mc.pending = sim.Event{}
 		// A transaction racing the entry window aborts it (the event is
 		// also canceled directly by Access); the GPMU retries on its
 		// next pass.

@@ -48,7 +48,10 @@ func Batching(opt Options, qps float64, epochs []sim.Duration) *BatchingResult {
 	sh := runPoint(soc.Cshallow, spec, opt)
 	res.ShallowWatts = sh.avgTotalW
 
-	for _, epoch := range epochs {
+	// Each epoch point is an independent engine; the cross-point
+	// fractions (vs Cshallow, vs the unbatched epoch) are derived
+	// afterwards in point order.
+	res.Points = Sweep(opt, epochs, func(epoch sim.Duration) BatchingPoint {
 		sys := soc.New(soc.DefaultConfig(soc.CPC1A))
 		scfg := server.DefaultConfig()
 		scfg.Seed = opt.Seed
@@ -59,7 +62,7 @@ func Batching(opt Options, qps float64, epochs []sim.Duration) *BatchingResult {
 		t0 := sys.Engine.Now()
 		srv.Run(opt.Duration)
 
-		p := BatchingPoint{
+		return BatchingPoint{
 			Epoch:       epoch,
 			Watts:       snap.AverageTotal(),
 			MeanLatency: srv.Latencies().Mean(),
@@ -67,14 +70,16 @@ func Batching(opt Options, qps float64, epochs []sim.Duration) *BatchingResult {
 			PC1AResidency: float64(sys.APMU.Residency(pmu.PC1A)) /
 				float64(sys.Engine.Now()-t0+1),
 		}
+	})
+	for i := range res.Points {
+		p := &res.Points[i]
 		p.SavingsFrac = (res.ShallowWatts - p.Watts) / res.ShallowWatts
-		if epoch == 0 {
+		if p.Epoch == 0 {
 			res.UnbatchedMean = p.MeanLatency
 		}
 		if res.UnbatchedMean > 0 {
 			p.LatencyCost = (p.MeanLatency - res.UnbatchedMean) / res.UnbatchedMean
 		}
-		res.Points = append(res.Points, p)
 	}
 	return res
 }

@@ -41,6 +41,12 @@ type Options struct {
 	Duration sim.Duration
 	// Seed for all generators.
 	Seed uint64
+	// Parallelism caps how many sweep points run concurrently, each on
+	// its own engine: 0 or 1 is serial, values above 1 bound the worker
+	// pool, negative means one worker per available CPU. Results are
+	// collected in point order and are bit-identical to a serial run
+	// with the same seed at any setting.
+	Parallelism int
 }
 
 // DefaultOptions returns the report-quality settings.

@@ -37,11 +37,11 @@ func Fig5(opt Options, qpsList []float64) *Fig5Result {
 		qpsList = DefaultFig5QPS
 	}
 	res := &Fig5Result{}
-	for _, qps := range qpsList {
+	res.Points = Sweep(opt, qpsList, func(qps float64) Fig5Point {
 		spec := workload.Memcached(qps)
 		sh := runPoint(soc.Cshallow, spec, opt)
 		dp := runPoint(soc.Cdeep, spec, opt)
-		res.Points = append(res.Points, Fig5Point{
+		return Fig5Point{
 			QPS:           qps,
 			ShallowMean:   sh.srv.Latencies().Mean(),
 			ShallowP99:    sh.srv.Latencies().Quantile(0.99),
@@ -49,8 +49,8 @@ func Fig5(opt Options, qpsList []float64) *Fig5Result {
 			DeepP99:       dp.srv.Latencies().Quantile(0.99),
 			ShallowServed: sh.srv.Served(),
 			DeepServed:    dp.srv.Served(),
-		})
-	}
+		}
+	})
 	return res
 }
 

@@ -43,11 +43,11 @@ func Fig6(opt Options, qpsList []float64) *Fig6Result {
 		qpsList = DefaultFig6QPS
 	}
 	res := &Fig6Result{}
-	for _, qps := range qpsList {
+	res.Points = Sweep(opt, qpsList, func(qps float64) Fig6Point {
 		run := runPoint(soc.Cshallow, workload.Memcached(qps), opt)
 		tr := run.tracer
 		h := tr.IdlePeriods()
-		res.Points = append(res.Points, Fig6Point{
+		return Fig6Point{
 			QPS:             qps,
 			CC0Residency:    tr.MeanResidency(cpu.CC0),
 			CC1Residency:    tr.MeanResidency(cpu.CC1),
@@ -57,8 +57,8 @@ func Fig6(opt Options, qpsList []float64) *Fig6Result {
 			FracIn20To200us: h.FractionBetween(20e-6, 200e-6),
 			IdleP50:         h.Quantile(0.50),
 			IdleP90:         h.Quantile(0.90),
-		})
-	}
+		}
+	})
 	return res
 }
 

@@ -77,7 +77,7 @@ func Fig7(opt Options, qpsList []float64) *Fig7Result {
 	res.Idle.SavingsVsShallow = 1 - res.Idle.CPC1A/res.Idle.Cshallow
 
 	// Panels (b) and (c): load sweep.
-	for _, qps := range qpsList {
+	res.Points = Sweep(opt, qpsList, func(qps float64) Fig7Point {
 		spec := workload.Memcached(qps)
 		sh := runPoint(soc.Cshallow, spec, opt)
 		ap := runPoint(soc.CPC1A, spec, opt)
@@ -96,8 +96,8 @@ func Fig7(opt Options, qpsList []float64) *Fig7Result {
 			p.PC1AEntries = ap.sys.APMU.Entries(pmu.PC1A)
 			p.PC1AResidency = float64(ap.sys.APMU.Residency(pmu.PC1A)) / float64(elapsed*float64(sim.Second))
 		}
-		res.Points = append(res.Points, p)
-	}
+		return p
+	})
 	return res
 }
 

@@ -64,7 +64,7 @@ type workloadLevel struct {
 
 func workloadFigure(opt Options, service string, levels []workloadLevel, mk func(float64) workload.Spec) *WorkloadResult {
 	res := &WorkloadResult{Service: service}
-	for _, lv := range levels {
+	res.Points = Sweep(opt, levels, func(lv workloadLevel) WorkloadPoint {
 		spec := mk(lv.load)
 		sh := runPoint(soc.Cshallow, spec, opt)
 		ap := runPoint(soc.CPC1A, spec, opt)
@@ -81,8 +81,8 @@ func workloadFigure(opt Options, service string, levels []workloadLevel, mk func
 		}
 		p.PowerReduction = (p.ShallowWatts - p.PC1AWatts) / p.ShallowWatts
 		p.ImpactFrac = modelImpact(ap, sh.srv.Latencies().Mean())
-		res.Points = append(res.Points, p)
-	}
+		return p
+	})
 
 	// Fully idle server.
 	idle := func(kind soc.ConfigKind) float64 {

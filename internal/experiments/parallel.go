@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the sweep fan-out layer. Every sweep-style experiment
+// (Fig5–Fig9, Sensitivity, Batching, Remote) evaluates a list of
+// independent (config, load) points, and each point builds its own
+// sim.Engine with its own seed — there is no shared mutable state
+// between points. RunPoints exploits that: it fans the points across a
+// bounded worker pool and writes each result into its slot by index, so
+// the returned slice is in deterministic point order regardless of
+// which worker finished first or in what order. Because every point is
+// a pure function of (Options, point), a parallel sweep is bit-identical
+// to the serial one with the same seed.
+
+// Parallelism resolves an Options.Parallelism knob to a worker count:
+// values above 1 are used as-is, 0 and 1 mean serial, and negative
+// means one worker per available CPU.
+func (o Options) parallelism() int {
+	switch {
+	case o.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallelism == 0:
+		return 1
+	default:
+		return o.Parallelism
+	}
+}
+
+// RunPoints evaluates fn(0..n-1) on at most par concurrent goroutines
+// and returns the results in index order. With par <= 1 it runs inline
+// with no goroutines at all, keeping serial sweeps trivially
+// deterministic and cheap to reason about.
+func RunPoints[T any](par, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if par <= 1 || n <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	if par > n {
+		par = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Sweep evaluates fn over points with the parallelism configured in
+// opt, returning results in point order. It is the one-liner every
+// sweep experiment uses:
+//
+//	res.Points = Sweep(opt, qpsList, func(qps float64) Fig5Point {...})
+func Sweep[P, T any](opt Options, points []P, fn func(P) T) []T {
+	return RunPoints(opt.parallelism(), len(points), func(i int) T {
+		return fn(points[i])
+	})
+}

@@ -46,7 +46,7 @@ func Remote(opt Options, qps float64, rates []float64) *RemoteResult {
 
 	sh := runPoint(soc.Cshallow, spec, opt)
 
-	for _, rate := range rates {
+	res.Points = Sweep(opt, rates, func(rate float64) RemotePoint {
 		sys := soc.New(soc.DefaultConfig(soc.CPC1A))
 		scfg := server.DefaultConfig()
 		scfg.Seed = opt.Seed
@@ -70,8 +70,8 @@ func Remote(opt Options, qps float64, rates []float64) *RemoteResult {
 			PC1AEntries: sys.APMU.Entries(pmu.PC1A) - entries0,
 		}
 		p.SavingsFrac = (sh.avgTotalW - p.Watts) / sh.avgTotalW
-		res.Points = append(res.Points, p)
-	}
+		return p
+	})
 	return res
 }
 

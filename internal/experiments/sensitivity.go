@@ -67,37 +67,43 @@ func Sensitivity(opt Options) *SensitivityResult {
 		s.Engine.Run(settle)
 		return s.TotalPower()
 	}
+
+	// The reference-load Cshallow baseline is shared by every ablation;
+	// run it once instead of once per ablated configuration.
+	refSpec := workload.Memcached(20000)
+	shallowRefW := runPoint(soc.Cshallow, refSpec, opt).avgTotalW
 	loadSavings := func(cfg soc.Config) float64 {
-		spec := workload.Memcached(20000)
-		sh := runPoint(soc.Cshallow, spec, opt)
 		s := soc.New(cfg)
-		srv := newServerForConfig(s, opt, spec)
+		srv := newServerForConfig(s, opt, refSpec)
 		srv.Run(opt.Duration / 10)
 		snap := s.Meter.Snapshot()
 		srv.Run(opt.Duration)
-		return (sh.avgTotalW - snap.AverageTotal()) / sh.avgTotalW
+		return (shallowRefW - snap.AverageTotal()) / shallowRefW
 	}
 
 	r.BaselineIdleW = idleW(soc.DefaultConfig(soc.Cshallow))
 	r.FullAPCIdleW = idleW(soc.DefaultConfig(soc.CPC1A))
 
-	mk := func(name string, mut func(*soc.Config)) AblationPoint {
+	type ablation struct {
+		name string
+		mut  func(*soc.Config)
+	}
+	r.Ablations = Sweep(opt, []ablation{
+		{"full APC", func(*soc.Config) {}},
+		{"no CLMR", func(c *soc.Config) { c.NoCLMRetention = true }},
+		{"no CKE-off", func(c *soc.Config) { c.NoCKEOff = true }},
+		{"no IO standby", func(c *soc.Config) { c.NoIOStandby = true }},
+	}, func(a ablation) AblationPoint {
 		cfg := soc.DefaultConfig(soc.CPC1A)
-		mut(&cfg)
+		a.mut(&cfg)
 		w := idleW(cfg)
 		return AblationPoint{
-			Name:        name,
+			Name:        a.name,
 			IdleW:       w,
 			IdleSavings: 1 - w/r.BaselineIdleW,
 			LoadSavings: loadSavings(cfg),
 		}
-	}
-	r.Ablations = []AblationPoint{
-		mk("full APC", func(*soc.Config) {}),
-		mk("no CLMR", func(c *soc.Config) { c.NoCLMRetention = true }),
-		mk("no CKE-off", func(c *soc.Config) { c.NoCKEOff = true }),
-		mk("no IO standby", func(c *soc.Config) { c.NoIOStandby = true }),
-	}
+	})
 
 	// PLL policy: measured exit with PLLs locked; hypothetical exit with
 	// a PC6-style relock serialized after PwrOk (the CLM clock cannot
@@ -113,7 +119,7 @@ func Sensitivity(opt Options) *SensitivityResult {
 	}
 
 	// APMU clock sweep.
-	for _, mhz := range []float64{100, 250, 500, 1000} {
+	for _, p := range Sweep(opt, []float64{100, 250, 500, 1000}, func(mhz float64) APMUClockPoint {
 		cfg := soc.DefaultConfig(soc.CPC1A)
 		cfg.APMUConfig = apc.Config{ClockHz: mhz * 1e6, ActionCycles: 2}
 		s := soc.New(cfg)
@@ -121,29 +127,33 @@ func Sensitivity(opt Options) *SensitivityResult {
 		s.Cores[0].Enqueue(cpu.Work{Duration: sim.Microsecond})
 		s.Engine.Run(s.Engine.Now() + sim.Millisecond)
 		if s.APMU.Entries(pmu.PC1A) == 0 {
-			continue
+			return APMUClockPoint{}
 		}
-		r.APMUClockPts = append(r.APMUClockPts, APMUClockPoint{
+		return APMUClockPoint{
 			ClockMHz: mhz,
 			Entry:    16*sim.Nanosecond + s.APMU.LastEntryLatency(),
 			Exit:     s.APMU.LastExitLatency(),
-		})
+		}
+	}) {
+		if p.ClockMHz != 0 {
+			r.APMUClockPts = append(r.APMUClockPts, p)
+		}
 	}
 
 	// FIVR slew sweep: the CLM ramp dominates exit latency, so exit
 	// scales inversely with slew.
-	for _, mv := range []float64{1, 2, 4, 8} {
+	r.SlewPts = Sweep(opt, []float64{1, 2, 4, 8}, func(mv float64) SlewPoint {
 		cfg := soc.DefaultConfig(soc.CPC1A)
 		cfg.CLMParams.SlewVoltsPerNs = mv / 1000
 		s := soc.New(cfg)
 		s.Engine.Run(settle)
 		s.Cores[0].Enqueue(cpu.Work{Duration: sim.Microsecond})
 		s.Engine.Run(s.Engine.Now() + sim.Millisecond)
-		r.SlewPts = append(r.SlewPts, SlewPoint{
+		return SlewPoint{
 			SlewMVPerNs: mv,
 			Exit:        s.APMU.LastExitLatency(),
-		})
-	}
+		}
+	})
 	return r
 }
 

@@ -157,8 +157,8 @@ type Link struct {
 	// transition from L0s to L0").
 	onWake []func()
 
-	pending  *sim.Event // entry/exit completion event
-	onL1Done func()     // completion hook for an in-flight L1 exit
+	pending  sim.Event // entry/exit completion event
+	onL1Done func()    // completion hook for an in-flight L1 exit
 	ch       *power.Channel
 
 	// Counters for experiments.
@@ -238,7 +238,7 @@ func (l *Link) onAllowL0s(level bool) {
 	switch l.state {
 	case L0sEntry:
 		l.pending.Cancel()
-		l.pending = nil
+		l.pending = sim.Event{}
 		l.state = L0
 	case L0s:
 		l.beginStandbyExit(false)
@@ -253,7 +253,7 @@ func (l *Link) maybeArmStandby() {
 	}
 	l.state = L0sEntry
 	l.pending = l.eng.Schedule(l.params.StandbyEntry, func() {
-		l.pending = nil
+		l.pending = sim.Event{}
 		l.state = L0s
 		l.standbyEntries++
 		l.setPower(l.params.StandbyWatts)
@@ -276,7 +276,7 @@ func (l *Link) beginStandbyExit(traffic bool) {
 		}
 	}
 	l.pending = l.eng.Schedule(l.params.StandbyExit, func() {
-		l.pending = nil
+		l.pending = sim.Event{}
 		l.state = L0
 		l.maybeArmStandby()
 	})
@@ -293,7 +293,7 @@ func (l *Link) StartTransaction() {
 		// Entry aborted by traffic: back to L0 with no penalty (lanes
 		// were still draining).
 		l.pending.Cancel()
-		l.pending = nil
+		l.pending = sim.Event{}
 		l.state = L0
 	case L0s:
 		l.beginStandbyExit(true)
@@ -344,13 +344,13 @@ func (l *Link) EnterL1(done func()) {
 		return
 	case L0sEntry:
 		l.pending.Cancel()
-		l.pending = nil
+		l.pending = sim.Event{}
 	case L0s:
 		// Going deeper: drop straight through; InL0s stays high (L1 is
 		// "L0s or deeper").
 	case L0sExit:
 		l.pending.Cancel()
-		l.pending = nil
+		l.pending = sim.Event{}
 	}
 	l.eng.Schedule(l.params.L1EntryLat, func() {
 		l.state = L1
@@ -393,7 +393,7 @@ func (l *Link) beginL1Exit(traffic bool) {
 		}
 	}
 	l.pending = l.eng.Schedule(l.params.L1ExitLat, func() {
-		l.pending = nil
+		l.pending = sim.Event{}
 		l.state = L0
 		if l.onL1Done != nil {
 			fn := l.onL1Done

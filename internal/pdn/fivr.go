@@ -48,7 +48,7 @@ type FIVR struct {
 	retention   float64 // RVID: pre-programmed retention voltage
 	inRet       bool
 
-	rampDone *sim.Event
+	rampDone sim.Event
 	onPwrOk  func()
 	onAtRet  func()
 }
@@ -176,7 +176,7 @@ func (f *FIVR) retarget(v float64) {
 	f.target = v
 	d := f.rampDuration(cur, v)
 	f.rampDone = f.eng.Schedule(d, func() {
-		f.rampDone = nil
+		f.rampDone = sim.Event{}
 		if f.target == f.retention && f.inRet {
 			if f.onAtRet != nil {
 				f.onAtRet()

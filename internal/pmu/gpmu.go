@@ -101,7 +101,7 @@ type GPMU struct {
 	// interrupts, timer expirations and thermal events.
 	wakeUp *signal.Signal
 
-	hystEv      *sim.Event
+	hystEv      sim.Event
 	flowActive  bool // an entry/exit flow is running
 	pendingWake bool // wake arrived mid-entry; unwind at next step
 
@@ -235,7 +235,7 @@ func (g *GPMU) armEntry() {
 		return
 	}
 	g.hystEv = g.eng.Schedule(g.cfg.Hysteresis, func() {
-		g.hystEv = nil
+		g.hystEv = sim.Event{}
 		if g.allDeepAndQuiet() && g.state == PC0 && !g.flowActive {
 			g.enterPC6()
 		}
@@ -342,7 +342,7 @@ func (g *GPMU) wakeFromDeep() {
 	switch {
 	case g.hystEv.Pending():
 		g.hystEv.Cancel()
-		g.hystEv = nil
+		g.hystEv = sim.Event{}
 	case g.flowActive:
 		g.pendingWake = true
 	case g.state == PC6 || g.state == PC2:

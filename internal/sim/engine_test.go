@@ -1,0 +1,320 @@
+package sim
+
+// Tests for the pooled 4-ary-heap engine: equivalence against a
+// reference container/heap implementation with the documented
+// (time, seq) lazy-cancel semantics, generation safety of recycled
+// handles, and the zero-allocation guarantee on the steady-state
+// schedule→fire cycle.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refQueue reimplement the original container/heap engine
+// semantics (lazy cancellation, (time, seq) ordering) as an oracle.
+type refEvent struct {
+	at       Time
+	seq      uint64
+	id       int
+	canceled bool
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(*refEvent)) }
+func (q *refQueue) Pop() any     { old := *q; n := len(old); ev := old[n-1]; *q = old[:n-1]; return ev }
+func (q *refQueue) popLive() *refEvent {
+	for q.Len() > 0 {
+		ev := heap.Pop(q).(*refEvent)
+		if !ev.canceled {
+			return ev
+		}
+	}
+	return nil
+}
+
+// TestEquivalenceWithReferenceHeap drives the real engine and the
+// reference heap through identical random schedule/cancel/step
+// interleavings (including same-instant bursts and cancellations of
+// both heap and ring events) and requires identical fire order.
+func TestEquivalenceWithReferenceHeap(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+
+		e := NewEngine()
+		ref := refQueue{}
+		var refSeq uint64
+		refNow := Time(0)
+
+		var gotOrder, wantOrder []int
+		type livePair struct {
+			ev  Event
+			ref *refEvent
+		}
+		var live []livePair
+		nextID := 0
+
+		schedule := func(d Duration) {
+			id := nextID
+			nextID++
+			ev := e.Schedule(d, func() { gotOrder = append(gotOrder, id) })
+			re := &refEvent{at: refNow + d, seq: refSeq, id: id}
+			refSeq++
+			heap.Push(&ref, re)
+			live = append(live, livePair{ev, re})
+		}
+
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(5) {
+			case 0, 1: // schedule with a random delay
+				schedule(Duration(rng.Intn(50)))
+			case 2: // same-instant burst
+				n := 1 + rng.Intn(4)
+				for i := 0; i < n; i++ {
+					schedule(0)
+				}
+			case 3: // cancel a random event (live or stale)
+				if len(live) > 0 {
+					p := live[rng.Intn(len(live))]
+					got := p.ev.Cancel()
+					want := !p.ref.canceled && !fired(wantOrder, p.ref.id)
+					if got != want {
+						t.Fatalf("trial %d: Cancel(id %d) = %v, reference says %v",
+							trial, p.ref.id, got, want)
+					}
+					if got {
+						p.ref.canceled = true
+					}
+				}
+			case 4: // step both
+				stepped := e.Step()
+				re := ref.popLive()
+				if stepped != (re != nil) {
+					t.Fatalf("trial %d: Step=%v but reference has live=%v", trial, stepped, re != nil)
+				}
+				if re != nil {
+					refNow = re.at
+					wantOrder = append(wantOrder, re.id)
+				}
+			}
+		}
+		// Drain both.
+		for e.Step() {
+		}
+		for re := ref.popLive(); re != nil; re = ref.popLive() {
+			wantOrder = append(wantOrder, re.id)
+		}
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("trial %d: fired %d events, reference fired %d", trial, len(gotOrder), len(wantOrder))
+		}
+		for i := range gotOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("trial %d: fire order diverges at %d: got %d want %d",
+					trial, i, gotOrder[i], wantOrder[i])
+			}
+		}
+	}
+}
+
+func fired(order []int, id int) bool {
+	for _, v := range order {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStaleHandleCannotTouchRecycledSlot checks the generation guard: a
+// handle to a fired or canceled event must stay dead even after its
+// arena slot is recycled for a new event.
+func TestStaleHandleCannotTouchRecycledSlot(t *testing.T) {
+	e := NewEngine()
+	h1 := e.Schedule(5, func() {})
+	e.Run(10)
+	if h1.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	// The freed slot is recycled by the next Schedule.
+	ran := false
+	h2 := e.Schedule(5, func() { ran = true })
+	if h1.Pending() {
+		t.Fatal("stale handle reports recycled slot as pending")
+	}
+	if h1.Cancel() {
+		t.Fatal("stale handle canceled a recycled slot's event")
+	}
+	if !h2.Pending() {
+		t.Fatal("new event should be pending")
+	}
+	e.Run(20)
+	if !ran {
+		t.Fatal("new event did not fire")
+	}
+
+	// Same via Cancel: cancel, recycle, poke the stale handle.
+	h3 := e.Schedule(5, func() {})
+	h3.Cancel()
+	ran = false
+	h4 := e.Schedule(5, func() { ran = true })
+	if h3.Pending() || h3.Cancel() {
+		t.Fatal("canceled handle came back to life after slot reuse")
+	}
+	e.Run(e.Now() + 10)
+	if !ran {
+		t.Fatal("event after canceled-slot reuse did not fire")
+	}
+	_ = h4
+}
+
+// TestCancelRemovesFromQueue checks the true-removal satellite: canceled
+// events leave Pending() immediately instead of lingering as graveyard
+// entries.
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := NewEngine()
+	var evs []Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, e.Schedule(Time(10+i), func() {}))
+	}
+	for i := 0; i < 100; i += 2 {
+		evs[i].Cancel()
+	}
+	if got := e.Pending(); got != 50 {
+		t.Fatalf("Pending = %d after canceling half, want 50", got)
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != 50 {
+		t.Fatalf("fired %d events, want 50", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+// TestSameInstantRingInterleavesWithHeap checks the (time, seq) contract
+// across the ring fast path: events already in the heap for instant T
+// precede events scheduled *at* T for T, and FIFO order holds within
+// each.
+func TestSameInstantRingInterleavesWithHeap(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() { // seq 0, fires first at t=10
+		order = append(order, 0)
+		e.Schedule(0, func() { order = append(order, 3) }) // ring, seq 3
+		e.Schedule(0, func() { order = append(order, 4) }) // ring, seq 4
+	})
+	e.Schedule(10, func() { order = append(order, 1) }) // heap, seq 1
+	e.Schedule(10, func() { order = append(order, 2) }) // heap, seq 2
+	e.Run(10)
+	want := []int{0, 1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// TestCancelRingEvent cancels a same-instant event between scheduling
+// and firing.
+func TestCancelRingEvent(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() {
+		e.Schedule(0, func() { order = append(order, 1) })
+		bad := e.Schedule(0, func() { t.Fatal("canceled ring event ran") })
+		e.Schedule(0, func() { order = append(order, 2) })
+		bad.Cancel()
+		if e.Pending() != 2 {
+			t.Fatalf("Pending = %d inside handler, want 2", e.Pending())
+		}
+	})
+	e.Run(20)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+// TestScheduleFireAllocFree is the allocs/op regression gate for the
+// pooled engine: after warmup, the schedule→fire cycle must not allocate
+// on either the heap path or the same-instant ring path.
+func TestScheduleFireAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1000; i++ { // warm the arena, heap, and ring
+		e.Schedule(Duration(i%3), fn)
+	}
+	for e.Step() {
+	}
+
+	if avg := testing.AllocsPerRun(2000, func() {
+		e.Schedule(1, fn)
+		e.Step()
+	}); avg != 0 {
+		t.Errorf("heap path: %v allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(2000, func() {
+		e.Schedule(0, fn)
+		e.Step()
+	}); avg != 0 {
+		t.Errorf("ring path: %v allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(2000, func() {
+		ev := e.Schedule(5, fn)
+		ev.Cancel()
+	}); avg != 0 {
+		t.Errorf("schedule+cancel: %v allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkScheduleFireSameInstant measures the ring fast path.
+func BenchmarkScheduleFireSameInstant(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(0, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures schedule followed by true removal.
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(i%64)+1, fn).Cancel()
+	}
+}
+
+// BenchmarkChurn1k measures schedule→fire with 1024 events resident, the
+// depth a loaded 36-core simulation actually sees.
+func BenchmarkChurn1k(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Duration(1+i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1025, fn)
+		e.Step()
+	}
+}

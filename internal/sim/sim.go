@@ -8,13 +8,25 @@
 //
 // The engine is single-threaded and deterministic: events scheduled for
 // the same instant fire in scheduling order (FIFO), so repeated runs with
-// the same seed produce identical traces.
+// the same seed produce identical traces. Independent engines are fully
+// isolated and may run concurrently on separate goroutines; that is how
+// package experiments fans sweep points across cores.
+//
+// # Implementation
+//
+// The queue is an inlined 4-ary min-heap ordered by (time, sequence) over
+// a pooled arena of event nodes: scheduling recycles nodes from a free
+// list, so the steady-state Schedule→fire cycle performs zero heap
+// allocations and no interface boxing. Events scheduled for the current
+// instant bypass the heap entirely through a FIFO ring (the common
+// cascade pattern where an event schedules immediate follow-ups).
+// Cancel physically removes the node from the queue, so canceled events
+// cost nothing afterwards and never bloat Pending(). Handles are
+// generation-checked: a stale Event (fired or canceled) can never cancel
+// a recycled node. See DESIGN.md for the full ordering contract.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
 //
@@ -55,41 +67,94 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback. Events are created by Engine.Schedule /
-// Engine.At and may be canceled before they fire.
+// Event is a handle to a scheduled callback, returned by Engine.Schedule
+// and Engine.At. It is a small value (copy it freely); the zero Event is
+// valid and permanently not pending, so model structs can hold an Event
+// field and Cancel it unconditionally.
+//
+// Handles are generation-checked against the engine's node arena: once
+// the event fires or is canceled its node may be recycled for a future
+// event, but this handle keeps reporting Pending() == false and
+// Cancel() == false forever.
 type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	fired    bool
-	index    int // heap index, -1 when not queued
+	eng  *Engine
+	at   Time
+	gen  uint32
+	slot int32
 }
 
-// At returns the virtual time the event is scheduled for.
-func (ev *Event) At() Time { return ev.at }
+// At returns the virtual time the event was scheduled for.
+func (ev Event) At() Time { return ev.at }
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op. Cancel returns true if the event was
-// pending and is now canceled.
-func (ev *Event) Cancel() bool {
-	if ev == nil || ev.fired || ev.canceled {
+// Cancel prevents the event from firing and removes it from the queue.
+// Canceling an already-fired, already-canceled, or zero Event is a no-op.
+// Cancel returns true if the event was pending and is now canceled.
+func (ev Event) Cancel() bool {
+	if ev.eng == nil {
 		return false
 	}
-	ev.canceled = true
-	return true
+	return ev.eng.cancel(ev.slot, ev.gen)
 }
 
 // Pending reports whether the event is still scheduled to fire.
-func (ev *Event) Pending() bool { return ev != nil && !ev.fired && !ev.canceled }
+func (ev Event) Pending() bool {
+	if ev.eng == nil {
+		return false
+	}
+	n := &ev.eng.nodes[ev.slot]
+	return n.gen == ev.gen
+}
+
+// node is one slot of the engine's pooled event arena. A node is live
+// while its event is queued (in the heap or the same-instant ring) and is
+// recycled through the free list once the event fires or is canceled;
+// recycling bumps gen so stale handles die.
+type node struct {
+	fn  func()
+	gen uint32
+	pos int32 // heap index when >= 0, posRing, or posFree
+}
+
+const (
+	posFree int32 = -1
+	posRing int32 = -2
+)
+
+// heapItem is one entry of the 4-ary min-heap. The ordering key
+// (at, seq) is stored inline so sift comparisons never chase into the
+// node arena.
+type heapItem struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
+// ringEntry is one entry of the same-instant FIFO ring. seq is stored so
+// the scheduler can interleave ring entries with heap entries that share
+// the current instant; gen detects entries whose event was canceled.
+type ringEntry struct {
+	seq  uint64
+	slot int32
+	gen  uint32
+}
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
-	now    Time
-	queue  eventQueue
-	seq    uint64
-	nextID uint64
+	now Time
+	seq uint64
+
+	heap  []heapItem
+	nodes []node
+	free  []int32
+
+	// ring holds events scheduled for exactly the current instant, in
+	// FIFO order; ringHead indexes the next entry, ringLive counts the
+	// non-canceled ones. Every ring entry's time is e.now (time cannot
+	// advance past an instant while events at it remain).
+	ring     []ringEntry
+	ringHead int
+	ringLive int
 
 	// Stats
 	fired uint64
@@ -107,13 +172,13 @@ func (e *Engine) Now() Time { return e.now }
 // useful for benchmarking and for asserting that flows have quiesced.
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
-// Pending returns the number of events currently queued (including
-// canceled events not yet discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events currently queued. Canceled events
+// are removed immediately and never counted.
+func (e *Engine) Pending() int { return len(e.heap) + e.ringLive }
 
 // Schedule arranges for fn to run after delay d. A negative delay panics:
 // the hardware being modeled cannot signal into the past.
-func (e *Engine) Schedule(d Duration, fn func()) *Event {
+func (e *Engine) Schedule(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
@@ -122,34 +187,130 @@ func (e *Engine) Schedule(d Duration, fn func()) *Event {
 
 // At arranges for fn to run at absolute time t, which must not be in the
 // past. Events scheduled for the same instant run in scheduling order.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	slot := e.alloc()
+	nd := &e.nodes[slot]
+	nd.fn = fn
+	seq := e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	if t == e.now {
+		// Same-instant fast path: FIFO ring, no heap traffic. All ring
+		// entries share time e.now and increasing seq, so ring order is
+		// exactly (time, seq) order.
+		if e.ringHead == len(e.ring) {
+			e.ring = e.ring[:0]
+			e.ringHead = 0
+		}
+		nd.pos = posRing
+		e.ring = append(e.ring, ringEntry{seq: seq, slot: slot, gen: nd.gen})
+		e.ringLive++
+	} else {
+		e.heapPush(heapItem{at: t, seq: seq, slot: slot})
+	}
+	return Event{eng: e, at: t, gen: nd.gen, slot: slot}
+}
+
+// alloc pops a free node slot, growing the arena when the free list is
+// empty. Node generations start at 1 so a live node never matches a
+// zero handle.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		slot := e.free[n-1]
+		e.free = e.free[:n-1]
+		return slot
+	}
+	e.nodes = append(e.nodes, node{gen: 1, pos: posFree})
+	return int32(len(e.nodes) - 1)
+}
+
+// release recycles a node after its event fired or was canceled, bumping
+// the generation so outstanding handles go stale.
+func (e *Engine) release(slot int32) {
+	nd := &e.nodes[slot]
+	nd.fn = nil
+	nd.gen++
+	nd.pos = posFree
+	e.free = append(e.free, slot)
+}
+
+// cancel removes the event in slot from the queue if gen still matches.
+func (e *Engine) cancel(slot int32, gen uint32) bool {
+	nd := &e.nodes[slot]
+	if nd.gen != gen {
+		return false
+	}
+	if nd.pos >= 0 {
+		e.heapRemove(int(nd.pos))
+	} else {
+		// In the ring: the stale entry is skipped when reached.
+		e.ringLive--
+	}
+	e.release(slot)
+	return true
 }
 
 // Step executes the next pending event, advancing time to it. It returns
 // false if the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
+	return e.step(1<<63 - 1)
+}
+
+// step fires the earliest event with time <= limit, in exact (time, seq)
+// order across the heap and the same-instant ring. It is the single
+// scheduling pass shared by Step and Run.
+func (e *Engine) step(limit Time) bool {
+	// Find the live ring head, skipping entries canceled in place.
+	ringSeq, haveRing := uint64(0), false
+	for e.ringHead < len(e.ring) {
+		en := &e.ring[e.ringHead]
+		if e.nodes[en.slot].gen == en.gen {
+			ringSeq, haveRing = en.seq, true
+			break
 		}
-		e.now = ev.at
-		ev.fired = true
-		e.fired++
-		ev.fn()
+		e.ringHead++
+	}
+	if !haveRing && e.ringHead > 0 {
+		e.ring = e.ring[:0]
+		e.ringHead = 0
+	}
+
+	// Ring entries are at e.now, so they beat any strictly-later heap
+	// entry; a heap entry at the same instant wins on lower seq (it was
+	// scheduled earlier, before time reached this instant).
+	if len(e.heap) > 0 && (!haveRing || (e.heap[0].at == e.now && e.heap[0].seq < ringSeq)) {
+		top := e.heap[0]
+		if top.at > limit {
+			return false
+		}
+		e.heapPopTop()
+		e.now = top.at
+		e.fire(top.slot)
 		return true
 	}
-	return false
+	if !haveRing {
+		return false
+	}
+	slot := e.ring[e.ringHead].slot
+	e.ringHead++
+	e.ringLive--
+	e.fire(slot)
+	return true
+}
+
+// fire releases the node (so the event's handle is no longer Pending
+// while its callback runs, and the slot can be rescheduled immediately)
+// and runs the callback.
+func (e *Engine) fire(slot int32) {
+	fn := e.nodes[slot].fn
+	e.release(slot)
+	e.fired++
+	fn()
 }
 
 // Run executes events until the queue is empty or the next event is after
@@ -159,12 +320,7 @@ func (e *Engine) Run(until Time) {
 	if until < e.now {
 		panic(fmt.Sprintf("sim: run until %v before now %v", until, e.now))
 	}
-	for {
-		ev := e.queue.peekLive()
-		if ev == nil || ev.at > until {
-			break
-		}
-		e.Step()
+	for e.step(until) {
 	}
 	e.now = until
 }
@@ -181,49 +337,88 @@ func (e *Engine) RunUntilQuiescent(maxEvents int) int {
 	return n
 }
 
-// eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders heap items by (time, seq).
+func less(a, b heapItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// heapPush inserts an item and sifts it up.
+func (e *Engine) heapPush(it heapItem) {
+	e.heap = append(e.heap, it)
+	e.heapUp(len(e.heap) - 1)
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// heapPopTop removes the minimum item (index 0).
+func (e *Engine) heapPopTop() {
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heap[0] = last
+		e.nodes[last.slot].pos = 0
+		e.heapDown(0)
+	}
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+// heapRemove removes the item at index i (true removal on Cancel).
+func (e *Engine) heapRemove(i int) {
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if i == n {
+		return
+	}
+	e.heap[i] = last
+	e.nodes[last.slot].pos = int32(i)
+	e.heapDown(i)
+	e.heapUp(int(e.nodes[last.slot].pos))
 }
 
-// peekLive returns the earliest non-canceled event without removing it,
-// discarding canceled events it encounters at the top.
-func (q *eventQueue) peekLive() *Event {
-	for len(*q) > 0 {
-		ev := (*q)[0]
-		if !ev.canceled {
-			return ev
+// heapUp sifts the item at index i toward the root of the 4-ary heap.
+func (e *Engine) heapUp(i int) {
+	it := e.heap[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(it, e.heap[p]) {
+			break
 		}
-		heap.Pop(q)
+		e.heap[i] = e.heap[p]
+		e.nodes[e.heap[i].slot].pos = int32(i)
+		i = p
 	}
-	return nil
+	e.heap[i] = it
+	e.nodes[it.slot].pos = int32(i)
+}
+
+// heapDown sifts the item at index i toward the leaves of the 4-ary heap.
+func (e *Engine) heapDown(i int) {
+	it := e.heap[i]
+	n := len(e.heap)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if less(e.heap[j], e.heap[m]) {
+				m = j
+			}
+		}
+		if !less(e.heap[m], it) {
+			break
+		}
+		e.heap[i] = e.heap[m]
+		e.nodes[e.heap[i].slot].pos = int32(i)
+		i = m
+	}
+	e.heap[i] = it
+	e.nodes[it.slot].pos = int32(i)
 }

@@ -116,13 +116,13 @@ func TestCancel(t *testing.T) {
 	}
 }
 
-func TestCancelNil(t *testing.T) {
-	var ev *Event
+func TestCancelZeroValue(t *testing.T) {
+	var ev Event
 	if ev.Cancel() {
-		t.Fatal("nil event Cancel should be false")
+		t.Fatal("zero Event Cancel should be false")
 	}
 	if ev.Pending() {
-		t.Fatal("nil event should not be pending")
+		t.Fatal("zero Event should not be pending")
 	}
 }
 
@@ -316,7 +316,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 		e := NewEngine()
 		total := int(n%64) + 1
 		ran := make([]bool, total)
-		evs := make([]*Event, total)
+		evs := make([]Event, total)
 		for i := 0; i < total; i++ {
 			i := i
 			evs[i] = e.Schedule(Time(rng.Intn(1000)), func() { ran[i] = true })

@@ -159,7 +159,7 @@ type Generator struct {
 
 	nextID  uint64
 	stopAt  sim.Time
-	pending *sim.Event
+	pending sim.Event
 }
 
 // NewGenerator builds a generator; sink receives each request at its
@@ -189,7 +189,7 @@ func (g *Generator) Start(until sim.Time) {
 // Stop cancels the pending arrival, ending generation immediately.
 func (g *Generator) Stop() {
 	g.pending.Cancel()
-	g.pending = nil
+	g.pending = sim.Event{}
 }
 
 func (g *Generator) scheduleNext() {
@@ -199,7 +199,7 @@ func (g *Generator) scheduleNext() {
 		d = 0
 	}
 	g.pending = g.eng.Schedule(d, func() {
-		g.pending = nil
+		g.pending = sim.Event{}
 		if g.eng.Now() >= g.stopAt {
 			return
 		}
