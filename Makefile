@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench clean
+.PHONY: all build test vet fmt ci race bench clean
 
 all: build test vet
 
@@ -13,13 +13,23 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt fails if any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+# The full CI gate: formatting, static checks, a build of every package
+# (including the examples/ programs, which have no tests), and the test
+# suite with the golden-report and scenario checks.
+ci: fmt vet build test
+
 # The parallel sweep runner and anything it touches, under the race
 # detector.
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/sim/
+	$(GO) test -race ./internal/experiments/ ./internal/scenario/ ./internal/sim/
 
 # Full benchmark suite: benchstat-comparable text in bench.txt plus a
-# machine-readable snapshot in BENCH_pr1.json recording the perf
+# machine-readable snapshot in BENCH_pr2.json recording the perf
 # trajectory.
 bench:
 	scripts/bench.sh

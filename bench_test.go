@@ -183,7 +183,7 @@ func BenchmarkBatchingExtension(b *testing.B) {
 	b.ReportAllocs()
 	var r *experiments.BatchingResult
 	for i := 0; i < b.N; i++ {
-		r = experiments.Batching(benchOptions(), 50000, nil)
+		r = experiments.Batching(benchOptions(), 50000, experiments.DefaultBatchingEpochs)
 	}
 	off, on := r.Points[0], r.Points[len(r.Points)-1]
 	b.ReportMetric(off.SavingsFrac*100, "savings-unbatched-%")

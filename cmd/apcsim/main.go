@@ -1,83 +1,40 @@
 // Command apcsim regenerates the tables and figures of the AgilePkgC
-// paper (MICRO 2022) from the simulator.
+// paper (MICRO 2022) from the simulator and runs declarative scenario
+// files against it.
 //
 // Usage:
 //
-//	apcsim [-duration 2s] [-seed 1] [-parallel N] [-csv dir] <experiment>...
-//	apcsim all
+//	apcsim [flags] list                     enumerate registered experiments
+//	apcsim [flags] run <experiment>...      run experiments (or "all")
+//	apcsim [flags] scenario <file.json>...  run declarative scenario files
+//	apcsim [flags] <experiment>...          shorthand for "run"
 //
-// Experiments: table1 table2 sec54 sec55 eq1 fig5 fig6 fig7 fig8 fig9
-// area sensitivity batching remote all
+// Flags:
 //
-// With -csv, experiments that produce data series additionally write
-// <dir>/<experiment>.csv for external plotting.
+//	-duration 2s   virtual measurement window per operating point
+//	-seed 1        random seed for all generators
+//	-parallel N    max sweep points simulated concurrently
+//	-csv dir       write per-experiment CSV series into dir
+//	-json dir      write machine-readable JSON results into dir
+//
+// The experiment set is self-registering: `apcsim list` is the registry,
+// not a hand-maintained table.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"agilepkgc/internal/experiments"
+	"agilepkgc/internal/scenario"
 	"agilepkgc/internal/sim"
 )
-
-var experimentOrder = []string{
-	"table1", "table2", "sec54", "sec55", "eq1",
-	"fig5", "fig6", "fig7", "fig8", "fig9", "area", "sensitivity", "batching", "remote",
-}
-
-// result bundles an experiment's text report with its optional CSV
-// exporter.
-type result struct {
-	report string
-	csv    experiments.CSVWriter
-}
-
-var runners = map[string]func(experiments.Options) result{
-	"table1": func(o experiments.Options) result { return result{report: experiments.Table1(o).String()} },
-	"table2": func(o experiments.Options) result { return result{report: experiments.Table2(o).String()} },
-	"sec54":  func(o experiments.Options) result { return result{report: experiments.Sec54(o).String()} },
-	"sec55":  func(o experiments.Options) result { return result{report: experiments.Sec55(o).String()} },
-	"eq1":    func(o experiments.Options) result { return result{report: experiments.Eq1(o).String()} },
-	"fig5": func(o experiments.Options) result {
-		r := experiments.Fig5(o, nil)
-		return result{report: r.String(), csv: r}
-	},
-	"fig6": func(o experiments.Options) result {
-		r := experiments.Fig6(o, nil)
-		return result{report: r.String(), csv: r}
-	},
-	"fig7": func(o experiments.Options) result {
-		r := experiments.Fig7(o, nil)
-		return result{report: r.String(), csv: r}
-	},
-	"fig8": func(o experiments.Options) result {
-		r := experiments.Fig8(o)
-		return result{report: r.String(), csv: r}
-	},
-	"fig9": func(o experiments.Options) result {
-		r := experiments.Fig9(o)
-		return result{report: r.String(), csv: r}
-	},
-	"area": func(o experiments.Options) result {
-		return result{report: experiments.Area(experiments.DefaultAreaModel()).String()}
-	},
-	"sensitivity": func(o experiments.Options) result {
-		return result{report: experiments.Sensitivity(o).String()}
-	},
-	"batching": func(o experiments.Options) result {
-		r := experiments.Batching(o, 0, nil)
-		return result{report: r.String(), csv: r}
-	},
-	"remote": func(o experiments.Options) result {
-		r := experiments.Remote(o, 0, nil)
-		return result{report: r.String(), csv: r}
-	},
-}
 
 func main() {
 	duration := flag.Duration("duration", 2*time.Second,
@@ -86,9 +43,10 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"max sweep points simulated concurrently (1 = serial; results are identical either way)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV series into")
+	jsonDir := flag.String("json", "", "directory to write machine-readable JSON results into")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: apcsim [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: %v all\n", experimentOrder)
+		fmt.Fprintf(os.Stderr, "usage: apcsim [flags] list | run <experiment>... | scenario <file.json>... | <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v all\n", experiments.Names())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -98,51 +56,210 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if len(args) == 1 && args[0] == "all" {
-		args = experimentOrder
-	}
 
 	opt := experiments.Options{
 		Duration:    sim.Duration(duration.Nanoseconds()),
 		Seed:        *seed,
 		Parallelism: *parallel,
 	}
-
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "apcsim: %v\n", err)
-			os.Exit(1)
-		}
+	out := outputs{csvDir: *csvDir, jsonDir: *jsonDir}
+	if err := out.prepare(); err != nil {
+		fatal(err)
 	}
 
-	for _, name := range args {
-		runner, ok := runners[name]
+	switch args[0] {
+	case "list":
+		if len(args) != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		list()
+	case "run":
+		if len(args) < 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		runExperiments(args[1:], opt, &out)
+	case "scenario":
+		if len(args) < 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		runScenarios(args[1:], opt, &out)
+	default:
+		// Shorthand: `apcsim all`, `apcsim fig7 table1`.
+		runExperiments(args, opt, &out)
+	}
+}
+
+// list prints the registry in canonical order.
+func list() {
+	width := 0
+	for _, name := range experiments.Names() {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for _, e := range experiments.All() {
+		fmt.Printf("%-*s  %s\n", width, e.Name(), e.Describe())
+	}
+}
+
+// runExperiments resolves names against the registry and runs each one.
+func runExperiments(names []string, opt experiments.Options, out *outputs) {
+	if len(names) == 1 && names[0] == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		exp, ok := experiments.Lookup(name)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "apcsim: unknown experiment %q\n", name)
 			flag.Usage()
 			os.Exit(2)
 		}
 		start := time.Now()
-		res := runner(opt)
-		fmt.Println(res.report)
+		res, err := exp.Run(opt)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println(res.Report())
 		fmt.Printf("[%s completed in %v wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
-
-		if *csvDir != "" && res.csv != nil {
-			path := filepath.Join(*csvDir, name+".csv")
-			if err := writeCSVFile(path, res.csv); err != nil {
-				fmt.Fprintf(os.Stderr, "apcsim: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("[wrote %s]\n\n", path)
+		if err := out.write(name, opt, res); err != nil {
+			fatal(err)
 		}
 	}
 }
 
-func writeCSVFile(path string, w experiments.CSVWriter) error {
+// runScenarios loads every file, rejects output-name collisions up
+// front (a later scenario would silently clobber an earlier one's CSV
+// and JSON files), then runs each scenario.
+func runScenarios(files []string, opt experiments.Options, out *outputs) {
+	var scs []scenario.Scenario
+	for _, path := range files {
+		loaded, err := scenario.LoadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		scs = append(scs, loaded...)
+	}
+	seen := map[string]string{}
+	for _, sc := range scs {
+		name := sanitize(sc.Name)
+		if prev, dup := seen[name]; dup {
+			fatal(fmt.Errorf("scenarios %q and %q would write the same output files (%s.*) — rename one", prev, sc.Name, name))
+		}
+		seen[name] = sc.Name
+	}
+	for _, sc := range scs {
+		start := time.Now()
+		res, err := sc.Run(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Report())
+		fmt.Printf("[%s completed in %v wall time]\n\n", sc.Name, time.Since(start).Round(time.Millisecond))
+		// Record the options the scenario actually ran under (its
+		// duration_ms/seed overrides applied), not the CLI defaults.
+		if err := out.write(sanitize(sc.Name), sc.EffectiveOptions(opt), res); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// outputs writes the optional CSV and JSON artifacts next to the text
+// reports.
+type outputs struct {
+	csvDir  string
+	jsonDir string
+}
+
+func (o *outputs) prepare() error {
+	for _, dir := range []string{o.csvDir, o.jsonDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *outputs) write(name string, opt experiments.Options, res experiments.Result) error {
+	if o.csvDir != "" {
+		if cw, ok := res.(experiments.CSVWriter); ok {
+			path := filepath.Join(o.csvDir, name+".csv")
+			if err := writeCSVFile(path, cw); err != nil {
+				return err
+			}
+			fmt.Printf("[wrote %s]\n\n", path)
+		}
+	}
+	if o.jsonDir != "" {
+		path := filepath.Join(o.jsonDir, name+".json")
+		if err := writeJSONFile(path, name, opt, res); err != nil {
+			return err
+		}
+		fmt.Printf("[wrote %s]\n\n", path)
+	}
+	return nil
+}
+
+// writeCSVFile exports one result's data series. The close error is
+// checked so a full disk is reported instead of swallowed.
+func writeCSVFile(path string, w experiments.CSVWriter) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	return w.WriteCSV(f)
+}
+
+// jsonEnvelope is the machine-readable form of one run: the experiment
+// or scenario name, the options it ran under, and the full result
+// struct.
+type jsonEnvelope struct {
+	Name    string              `json:"name"`
+	Options experiments.Options `json:"options"`
+	Result  any                 `json:"result"`
+}
+
+// writeJSONFile emits the machine-readable result, propagating the
+// close error like writeCSVFile.
+func writeJSONFile(path, name string, opt experiments.Options, res experiments.Result) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonEnvelope{Name: name, Options: opt, Result: res})
+}
+
+// sanitize makes a scenario name safe as a filename.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "apcsim: %v\n", err)
+	os.Exit(1)
 }

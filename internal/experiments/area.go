@@ -54,6 +54,11 @@ type AreaResult struct {
 	Total           float64
 }
 
+func init() {
+	Define(110, "area", "die-area overhead of the APC hardware (paper Sec. 5.1-5.3)",
+		func(Options) (Result, error) { return Area(DefaultAreaModel()), nil })
+}
+
 // Area computes the budget.
 func Area(m AreaModel) *AreaResult {
 	r := &AreaResult{Model: m}
@@ -72,6 +77,9 @@ func Area(m AreaModel) *AreaResult {
 	r.Total = r.IOSMSignals + r.IOSMControllers + r.CLMRSignals + r.APMULogic + r.InCC1Routing
 	return r
 }
+
+// Report implements Result.
+func (r *AreaResult) Report() string { return r.String() }
 
 // String renders the budget against the paper.
 func (r *AreaResult) String() string {

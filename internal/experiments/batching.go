@@ -34,14 +34,20 @@ type BatchingResult struct {
 	Points        []BatchingPoint
 }
 
+// DefaultBatchingQPS is the fixed Memcached load of the epoch sweep.
+const DefaultBatchingQPS = 50000
+
+// DefaultBatchingEpochs is the swept epoch axis; 0 is the unbatched
+// reference point.
+var DefaultBatchingEpochs = []sim.Duration{0, 20 * sim.Microsecond, 50 * sim.Microsecond, 100 * sim.Microsecond}
+
+func init() {
+	Define(130, "batching", "epoch-aligned dispatch extension (epoch sweep, paper Sec. 8)",
+		func(o Options) (Result, error) { return Batching(o, DefaultBatchingQPS, DefaultBatchingEpochs), nil })
+}
+
 // Batching sweeps the epoch length at a fixed Memcached load.
 func Batching(opt Options, qps float64, epochs []sim.Duration) *BatchingResult {
-	if qps == 0 {
-		qps = 50000
-	}
-	if len(epochs) == 0 {
-		epochs = []sim.Duration{0, 20 * sim.Microsecond, 50 * sim.Microsecond, 100 * sim.Microsecond}
-	}
 	spec := workload.Memcached(qps)
 	res := &BatchingResult{QPS: qps}
 
@@ -83,6 +89,9 @@ func Batching(opt Options, qps float64, epochs []sim.Duration) *BatchingResult {
 	}
 	return res
 }
+
+// Report implements Result.
+func (r *BatchingResult) Report() string { return r.String() }
 
 // String renders the sweep.
 func (r *BatchingResult) String() string {

@@ -39,6 +39,11 @@ const (
 	PaperAllIdle10    = 0.39
 )
 
+func init() {
+	Define(50, "eq1", "analytic PC1A power-savings model (paper Eq. 1)",
+		func(o Options) (Result, error) { return Eq1(o), nil })
+}
+
 // Eq1 measures residencies on the Cshallow baseline and plugs them into
 // the paper's model together with the Table 1 state powers.
 func Eq1(opt Options) *Eq1Result {
@@ -88,6 +93,9 @@ func Eq1(opt Options) *Eq1Result {
 	}
 	return r
 }
+
+// Report implements Result.
+func (r *Eq1Result) Report() string { return r.String() }
 
 // String renders the model against the paper's Sec. 2 numbers.
 func (r *Eq1Result) String() string {

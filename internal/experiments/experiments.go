@@ -71,19 +71,26 @@ type loadedRun struct {
 	avgTotalW float64
 }
 
+// Warmup returns the settle window run before measurement starts so the
+// measured window begins in steady state (menu governors seeded,
+// frequency policies settled, queues primed): a tenth of the
+// measurement window, capped at 50 ms. The scenario layer shares this
+// formula — its bit-for-bit parity with runPoint depends on it.
+func (o Options) Warmup() sim.Duration {
+	warm := o.Duration / 10
+	if warm > 50*sim.Millisecond {
+		warm = 50 * sim.Millisecond
+	}
+	return warm
+}
+
 func runPoint(kind soc.ConfigKind, spec workload.Spec, opt Options) *loadedRun {
 	sys := soc.New(soc.DefaultConfig(kind))
 	scfg := server.DefaultConfig()
 	scfg.Seed = opt.Seed
 	srv := server.New(sys, scfg, spec)
 
-	// Short warmup so the measured window starts in steady state (menu
-	// governors seeded, frequency policies settled, queues primed).
-	warm := opt.Duration / 10
-	if warm > 50*sim.Millisecond {
-		warm = 50 * sim.Millisecond
-	}
-	srv.Run(warm)
+	srv.Run(opt.Warmup())
 
 	tr := trace.New(sys.Engine, sys.Cores)
 	snap := sys.Meter.Snapshot()
@@ -116,12 +123,16 @@ type table struct {
 
 func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
 
-func (t *table) String() string {
-	widths := make([]int, len(t.header))
-	for i, h := range t.header {
+func (t *table) String() string { return RenderTable(t.header, t.rows) }
+
+// RenderTable formats an aligned text table in the house report style —
+// the one renderer every experiment and scenario report shares.
+func RenderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
 		widths[i] = len(h)
 	}
-	for _, r := range t.rows {
+	for _, r := range rows {
 		for i, c := range r {
 			if i < len(widths) && len(c) > widths[i] {
 				widths[i] = len(c)
@@ -138,7 +149,7 @@ func (t *table) String() string {
 		}
 		b.WriteByte('\n')
 	}
-	writeRow(t.header)
+	writeRow(header)
 	for i, w := range widths {
 		if i > 0 {
 			b.WriteString("  ")
@@ -146,7 +157,7 @@ func (t *table) String() string {
 		b.WriteString(strings.Repeat("-", w))
 	}
 	b.WriteByte('\n')
-	for _, r := range t.rows {
+	for _, r := range rows {
 		writeRow(r)
 	}
 	return b.String()

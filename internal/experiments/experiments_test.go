@@ -399,7 +399,7 @@ func TestSensitivity(t *testing.T) {
 func TestBatchingExtension(t *testing.T) {
 	opt := QuickOptions()
 	opt.Duration = 300 * sim.Millisecond
-	r := Batching(opt, 50000, nil)
+	r := Batching(opt, 50000, DefaultBatchingEpochs)
 	if len(r.Points) != 4 {
 		t.Fatalf("points = %d", len(r.Points))
 	}

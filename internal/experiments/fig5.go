@@ -31,11 +31,14 @@ type Fig5Result struct {
 // region of the paper is 4K–100K.
 var DefaultFig5QPS = []float64{4000, 10000, 20000, 50000, 100000, 200000, 300000, 400000}
 
-// Fig5 sweeps Memcached load over Cshallow and Cdeep.
+func init() {
+	Define(60, "fig5", "Memcached latency, Cshallow vs Cdeep (QPS sweep, paper Fig. 5)",
+		func(o Options) (Result, error) { return Fig5(o, DefaultFig5QPS), nil })
+}
+
+// Fig5 sweeps Memcached load over Cshallow and Cdeep across the given
+// request-rate axis (the paper's axis is DefaultFig5QPS).
 func Fig5(opt Options, qpsList []float64) *Fig5Result {
-	if len(qpsList) == 0 {
-		qpsList = DefaultFig5QPS
-	}
 	res := &Fig5Result{}
 	res.Points = Sweep(opt, qpsList, func(qps float64) Fig5Point {
 		spec := workload.Memcached(qps)
@@ -53,6 +56,9 @@ func Fig5(opt Options, qpsList []float64) *Fig5Result {
 	})
 	return res
 }
+
+// Report implements Result.
+func (r *Fig5Result) Report() string { return r.String() }
 
 // String renders the sweep.
 func (r *Fig5Result) String() string {

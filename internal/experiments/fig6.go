@@ -37,11 +37,14 @@ type Fig6Result struct {
 // DefaultFig6QPS is the paper's low-load x-axis.
 var DefaultFig6QPS = []float64{4000, 10000, 20000, 50000, 100000}
 
-// Fig6 measures the PC1A opportunity on the Cshallow baseline.
+func init() {
+	Define(70, "fig6", "PC1A opportunity: residencies and idle periods (QPS sweep, paper Fig. 6)",
+		func(o Options) (Result, error) { return Fig6(o, DefaultFig6QPS), nil })
+}
+
+// Fig6 measures the PC1A opportunity on the Cshallow baseline across
+// the given request-rate axis.
 func Fig6(opt Options, qpsList []float64) *Fig6Result {
-	if len(qpsList) == 0 {
-		qpsList = DefaultFig6QPS
-	}
 	res := &Fig6Result{}
 	res.Points = Sweep(opt, qpsList, func(qps float64) Fig6Point {
 		run := runPoint(soc.Cshallow, workload.Memcached(qps), opt)
@@ -61,6 +64,9 @@ func Fig6(opt Options, qpsList []float64) *Fig6Result {
 	})
 	return res
 }
+
+// Report implements Result.
+func (r *Fig6Result) Report() string { return r.String() }
 
 // String renders all three panels.
 func (r *Fig6Result) String() string {

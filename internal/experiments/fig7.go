@@ -54,11 +54,14 @@ const (
 	PaperFig7MaxImpact   = 0.001
 )
 
-// Fig7 measures PC1A power savings and performance impact on Memcached.
+func init() {
+	Define(80, "fig7", "PC1A power savings and performance impact (QPS sweep, paper Fig. 7)",
+		func(o Options) (Result, error) { return Fig7(o, DefaultFig7QPS), nil })
+}
+
+// Fig7 measures PC1A power savings and performance impact on Memcached
+// across the given request-rate axis.
 func Fig7(opt Options, qpsList []float64) *Fig7Result {
-	if len(qpsList) == 0 {
-		qpsList = DefaultFig7QPS
-	}
 	res := &Fig7Result{}
 
 	// Panel (a): idle systems.
@@ -100,6 +103,9 @@ func Fig7(opt Options, qpsList []float64) *Fig7Result {
 	})
 	return res
 }
+
+// Report implements Result.
+func (r *Fig7Result) Report() string { return r.String() }
 
 // String renders the three panels against the paper.
 func (r *Fig7Result) String() string {

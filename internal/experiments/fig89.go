@@ -43,6 +43,13 @@ type WorkloadResult struct {
 	IdleReduction float64
 }
 
+func init() {
+	Define(90, "fig8", "MySQL residency and power reduction (load sweep, paper Fig. 8)",
+		func(o Options) (Result, error) { return Fig8(o), nil })
+	Define(100, "fig9", "Kafka residency and power reduction (load sweep, paper Fig. 9)",
+		func(o Options) (Result, error) { return Fig9(o), nil })
+}
+
 // Fig8 evaluates MySQL at the paper's low/mid/high loads (8%, 16%, 42%).
 func Fig8(opt Options) *WorkloadResult {
 	return workloadFigure(opt, "MySQL", []workloadLevel{
@@ -94,6 +101,9 @@ func workloadFigure(opt Options, service string, levels []workloadLevel, mk func
 	res.IdleReduction = 1 - idle(soc.CPC1A)/shallowIdle
 	return res
 }
+
+// Report implements Result.
+func (r *WorkloadResult) Report() string { return r.String() }
 
 // String renders both panels of the figure.
 func (r *WorkloadResult) String() string {

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden report file")
+
+// TestGoldenReports locks the rendered report of every registered
+// experiment at QuickOptions against a committed golden file. It guards
+// refactors of the experiment stack (this PR's and future ones): any
+// change to the simulation, the registry or the report rendering that
+// moves a single byte fails here. Regenerate deliberately with
+//
+//	go test ./internal/experiments/ -run TestGoldenReports -update
+func TestGoldenReports(t *testing.T) {
+	var b strings.Builder
+	for _, e := range All() {
+		res, err := e.Run(QuickOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		fmt.Fprintf(&b, "==== %s ====\n%s\n", e.Name(), res.Report())
+	}
+	got := []byte(b.String())
+
+	path := filepath.Join("testdata", "golden_quick.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(string(got), "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("report diverges from golden at line %d:\n got: %q\nwant: %q", i+1, g, w)
+		}
+	}
+	t.Fatal("report differs from golden (length only)")
+}
+
+// TestGoldenResultsMarshalJSON enforces the Result contract's mandatory
+// JSON marshalling: every registered experiment's result must encode to
+// a non-trivial JSON object.
+func TestGoldenResultsMarshalJSON(t *testing.T) {
+	opt := QuickOptions()
+	opt.Duration /= 10 // marshalling does not need a stable window
+	for _, e := range All() {
+		res, err := e.Run(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Errorf("%s: result does not marshal: %v", e.Name(), err)
+			continue
+		}
+		if len(data) < 10 || data[0] != '{' {
+			t.Errorf("%s: implausible JSON result %q", e.Name(), data)
+		}
+		var back map[string]any
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Errorf("%s: result JSON does not round-trip: %v", e.Name(), err)
+		}
+	}
+}

@@ -59,7 +59,7 @@ func TestSweepRace(t *testing.T) {
 	opt.Parallelism = 8
 	Fig5(opt, []float64{4000, 20000, 50000, 100000})
 	Fig7(opt, []float64{4000, 50000})
-	Batching(opt, 50000, nil)
+	Batching(opt, 50000, DefaultBatchingEpochs)
 }
 
 // TestSerialParallelBitIdentical is the determinism contract of the
@@ -79,7 +79,7 @@ func TestSerialParallelBitIdentical(t *testing.T) {
 	if !reflect.DeepEqual(Fig9(serial), Fig9(parallel)) {
 		t.Error("Fig9 serial and parallel results differ")
 	}
-	if !reflect.DeepEqual(Remote(serial, 0, []float64{0, 10000}), Remote(parallel, 0, []float64{0, 10000})) {
+	if !reflect.DeepEqual(Remote(serial, DefaultRemoteQPS, []float64{0, 10000}), Remote(parallel, DefaultRemoteQPS, []float64{0, 10000})) {
 		t.Error("Remote serial and parallel results differ")
 	}
 }

@@ -32,15 +32,20 @@ type RemoteResult struct {
 	Points []RemotePoint
 }
 
+// DefaultRemoteQPS is the fixed local load of the snoop-rate sweep.
+const DefaultRemoteQPS = 20000
+
+// DefaultRemoteRates is the swept peer-socket UPI transaction-rate axis.
+var DefaultRemoteRates = []float64{0, 1000, 10000, 50000, 200000}
+
+func init() {
+	Define(140, "remote", "PC1A erosion under peer-socket UPI traffic (snoop-rate sweep)",
+		func(o Options) (Result, error) { return Remote(o, DefaultRemoteQPS, DefaultRemoteRates), nil })
+}
+
 // Remote sweeps the peer-socket UPI transaction rate at a fixed local
 // load.
 func Remote(opt Options, qps float64, rates []float64) *RemoteResult {
-	if qps == 0 {
-		qps = 20000
-	}
-	if len(rates) == 0 {
-		rates = []float64{0, 1000, 10000, 50000, 200000}
-	}
 	spec := workload.Memcached(qps)
 	res := &RemoteResult{QPS: qps}
 
@@ -97,6 +102,9 @@ func armSnoops(sys *soc.System, rate float64, seed uint64) {
 	}
 	sys.Engine.Schedule(sim.Duration(rng.ExpFloat64()/rate*float64(sim.Second)), next)
 }
+
+// Report implements Result.
+func (r *RemoteResult) Report() string { return r.String() }
 
 // String renders the sweep.
 func (r *RemoteResult) String() string {

@@ -37,6 +37,11 @@ const (
 	PaperPdramPC6   = 0.51
 )
 
+func init() {
+	Define(30, "sec54", "component power deltas Pcores/PIOs/Pdram/PPLLs (paper Sec. 5.4)",
+		func(o Options) (Result, error) { return Sec54(o), nil })
+}
+
 // Sec54 runs the paper's paired measurement configurations.
 func Sec54(opt Options) *Sec54Result {
 	r := &Sec54Result{}
@@ -120,6 +125,9 @@ func Sec54(opt Options) *Sec54Result {
 	r.PdramPC1A = r.PdramPC6 + r.PdramDiff
 	return r
 }
+
+// Report implements Result.
+func (r *Sec54Result) Report() string { return r.String() }
 
 // String renders the decomposition against the paper.
 func (r *Sec54Result) String() string {

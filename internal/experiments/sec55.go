@@ -28,6 +28,11 @@ type Sec55Result struct {
 	Speedup float64
 }
 
+func init() {
+	Define(40, "sec55", "PC1A vs PC6 transition-latency breakdown (paper Sec. 5.5)",
+		func(o Options) (Result, error) { return Sec55(o), nil })
+}
+
 // Sec55 measures one full transition of each flow.
 func Sec55(opt Options) *Sec55Result {
 	r := &Sec55Result{}
@@ -95,6 +100,9 @@ func Sec55(opt Options) *Sec55Result {
 	r.Speedup = float64(r.PC6Total) / float64(r.Total)
 	return r
 }
+
+// Report implements Result.
+func (r *Sec55Result) Report() string { return r.String() }
 
 // String renders the latency budget against the paper.
 func (r *Sec55Result) String() string {

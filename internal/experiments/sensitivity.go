@@ -57,6 +57,11 @@ type SlewPoint struct {
 	Exit        sim.Duration
 }
 
+func init() {
+	Define(120, "sensitivity", "technique ablations, PLL policy, APMU clock, FIVR slew",
+		func(o Options) (Result, error) { return Sensitivity(o), nil })
+}
+
 // Sensitivity runs the sweep suite.
 func Sensitivity(opt Options) *SensitivityResult {
 	r := &SensitivityResult{}
@@ -156,6 +161,9 @@ func Sensitivity(opt Options) *SensitivityResult {
 	})
 	return r
 }
+
+// Report implements Result.
+func (r *SensitivityResult) Report() string { return r.String() }
 
 // String renders the sweep suite.
 func (r *SensitivityResult) String() string {

@@ -36,6 +36,11 @@ const (
 	PaperPC1ADRAM    = 1.6
 )
 
+func init() {
+	Define(10, "table1", "power and latency per package C-state (paper Table 1)",
+		func(o Options) (Result, error) { return Table1(o), nil })
+}
+
 // Table1 measures every row of paper Table 1 on freshly assembled
 // systems.
 func Table1(opt Options) *Table1Result {
@@ -120,6 +125,9 @@ func Table1(opt Options) *Table1Result {
 func (r *Table1Result) Speedup() float64 {
 	return float64(r.PC6Latency) / float64(r.PC1ALatency)
 }
+
+// Report implements Result.
+func (r *Table1Result) Report() string { return r.String() }
 
 // String renders the table against the paper's values.
 func (r *Table1Result) String() string {

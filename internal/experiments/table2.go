@@ -26,6 +26,11 @@ type Table2Result struct {
 	Rows []Table2Row
 }
 
+func init() {
+	Define(20, "table2", "state-availability matrix per package C-state (paper Table 2)",
+		func(o Options) (Result, error) { return Table2(o), nil })
+}
+
 // Table2 drives each configuration into its package C-state and reads
 // the *actual* device states out of the simulator — the matrix is
 // observed, not transcribed.
@@ -98,6 +103,9 @@ func Table2(opt Options) *Table2Result {
 	}
 	return res
 }
+
+// Report implements Result.
+func (r *Table2Result) Report() string { return r.String() }
 
 // String renders the observed matrix next to the paper's.
 func (r *Table2Result) String() string {

@@ -1,0 +1,263 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"agilepkgc/internal/cpu"
+	"agilepkgc/internal/experiments"
+	"agilepkgc/internal/pmu"
+	"agilepkgc/internal/power"
+	"agilepkgc/internal/server"
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/trace"
+	"agilepkgc/internal/workload"
+)
+
+// Point is the measured outcome of one scenario operating point.
+type Point struct {
+	// Axis is the sweep-axis value this point was evaluated at (0 for
+	// unswept scenarios).
+	Axis float64 `json:"axis"`
+	// Workload names the effective request stream.
+	Workload string `json:"workload"`
+
+	OfferedQPS float64 `json:"offered_qps,omitempty"`
+	Served     uint64  `json:"served"`
+	Generated  uint64  `json:"generated"`
+	Dropped    uint64  `json:"dropped"`
+
+	// Client-observed latencies, seconds.
+	MeanLatency float64 `json:"mean_latency_s"`
+	P50Latency  float64 `json:"p50_latency_s"`
+	P99Latency  float64 `json:"p99_latency_s"`
+
+	// Average watts over the measured window.
+	SoCWatts   float64 `json:"soc_w"`
+	DRAMWatts  float64 `json:"dram_w"`
+	TotalWatts float64 `json:"total_w"`
+
+	// Core residencies over the measured window.
+	CC0Residency    float64 `json:"cc0_residency"`
+	CC1Residency    float64 `json:"cc1_residency"`
+	AllIdle         float64 `json:"all_idle"`
+	AllIdleCensored float64 `json:"all_idle_censored"`
+
+	// PC1A statistics. Nil on configurations without an APMU (Cshallow,
+	// Cdeep), so JSON consumers can distinguish "not applicable" from a
+	// genuine zero measurement.
+	PC1AResidency *float64 `json:"pc1a_residency,omitempty"`
+	PC1AEntries   *uint64  `json:"pc1a_entries,omitempty"`
+}
+
+// Result is a completed scenario run: the spec that produced it plus one
+// Point per axis value. It implements experiments.Result and
+// experiments.CSVWriter, so the CLI treats scenarios and built-in
+// experiments uniformly.
+type Result struct {
+	Scenario Scenario `json:"scenario"`
+	// Axis is the swept axis name ("" when unswept).
+	Axis   string  `json:"axis,omitempty"`
+	Points []Point `json:"points"`
+}
+
+// Run evaluates the scenario under the given options (duration, seed and
+// parallelism; the scenario's own duration_ms/seed take precedence).
+// Sweep points fan out exactly like built-in experiment sweeps: each
+// point is a pure function of (options, point), so results are
+// bit-identical at any parallelism.
+func (s Scenario) Run(opt experiments.Options) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	opt = s.EffectiveOptions(opt)
+
+	axis := ""
+	values := []float64{0}
+	swept := false
+	if s.Sweep != nil {
+		axis, values, swept = s.Sweep.Axis, s.Sweep.Values, true
+	}
+
+	// Resolve every point up front so a bad axis value fails before any
+	// simulation runs.
+	type job struct {
+		axis float64
+		sc   Scenario
+	}
+	jobs := make([]job, len(values))
+	for i, v := range values {
+		pt := s
+		if swept {
+			pt = s.at(axis, v)
+		}
+		kind, err := soc.ParseConfigKind(pt.Config)
+		if err != nil {
+			return nil, err
+		}
+		cores := soc.DefaultConfig(kind).CoreCount
+		if _, _, err := pt.Workload.spec(cores); err != nil {
+			if swept {
+				return nil, fmt.Errorf("scenario %q [%s=%g]: %w", s.Name, axis, v, err)
+			}
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		if pt.Server.TimerTickHz != nil && *pt.Server.TimerTickHz > 0 &&
+			(pt.Server.TickKernelUS == nil || *pt.Server.TickKernelUS <= 0) {
+			return nil, fmt.Errorf("scenario %q: timer_tick_hz needs tick_kernel_us > 0", s.Name)
+		}
+		jobs[i] = job{axis: v, sc: pt}
+	}
+
+	res := &Result{Scenario: s, Axis: axis}
+	res.Points = experiments.Sweep(opt, jobs, func(j job) Point {
+		return runOne(j.sc, j.axis, opt)
+	})
+	return res, nil
+}
+
+// runOne wires one fully-applied scenario point onto a fresh system —
+// the same assembly, warmup and measurement-window sequence the built-in
+// experiments use, so an unswept scenario with no overrides reproduces
+// their numbers bit for bit.
+func runOne(sc Scenario, axisValue float64, opt experiments.Options) Point {
+	kind, _ := soc.ParseConfigKind(sc.Config)
+	sys := soc.New(soc.DefaultConfig(kind))
+	scfg := server.DefaultConfig()
+	scfg.Seed = opt.Seed
+	sc.Server.apply(&scfg)
+
+	spec, open, _ := sc.Workload.spec(soc.DefaultConfig(kind).CoreCount)
+	var srv *server.Server
+	var cl *workload.ClosedLoopClient
+	if open {
+		srv = server.New(sys, scfg, spec)
+	} else {
+		srv = server.NewClosedLoop(sys, scfg)
+		cl = workload.SysbenchOLTP(sys.Engine, sc.Workload.Threads,
+			sc.Workload.ThinkMS*1e-3, opt.Seed, srv.Submit)
+		cl.Start()
+	}
+
+	// Warmup so the measured window starts in steady state — the same
+	// formula as the built-in experiments (Options.Warmup), which the
+	// bit-for-bit parity contract depends on.
+	srv.Run(opt.Warmup())
+
+	tr := trace.New(sys.Engine, sys.Cores)
+	snap := sys.Meter.Snapshot()
+	t0 := sys.Engine.Now()
+	var res0 sim.Duration
+	var ent0 uint64
+	if sys.APMU != nil {
+		res0 = sys.APMU.Residency(pmu.PC1A)
+		ent0 = sys.APMU.Entries(pmu.PC1A)
+	}
+	srv.Run(opt.Duration)
+	tr.Finalize()
+	if cl != nil {
+		cl.Stop()
+	}
+
+	p := Point{
+		Axis:            axisValue,
+		Served:          srv.Served(),
+		Generated:       srv.Generated(),
+		Dropped:         srv.Dropped(),
+		MeanLatency:     srv.Latencies().Mean(),
+		P50Latency:      srv.Latencies().Quantile(0.50),
+		P99Latency:      srv.Latencies().Quantile(0.99),
+		SoCWatts:        snap.AveragePower(power.Package),
+		DRAMWatts:       snap.AveragePower(power.DRAM),
+		TotalWatts:      snap.AverageTotal(),
+		CC0Residency:    tr.MeanResidency(cpu.CC0),
+		CC1Residency:    tr.MeanResidency(cpu.CC1),
+		AllIdle:         tr.AllIdleFraction(),
+		AllIdleCensored: tr.CensoredAllIdleFraction(),
+	}
+	if open {
+		p.Workload = spec.Name
+		p.OfferedQPS = spec.MeanQPS()
+	} else {
+		p.Workload = fmt.Sprintf("sysbench-%dthr", sc.Workload.Threads)
+		p.Generated = cl.Issued()
+	}
+	if sys.APMU != nil {
+		residency := 0.0
+		if window := sys.Engine.Now() - t0; window > 0 {
+			residency = float64(sys.APMU.Residency(pmu.PC1A)-res0) / float64(window)
+		}
+		entries := sys.APMU.Entries(pmu.PC1A) - ent0
+		p.PC1AResidency, p.PC1AEntries = &residency, &entries
+	}
+	return p
+}
+
+// Report implements experiments.Result.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario %s: %s on %s", r.Scenario.Name, r.Scenario.Workload.Service, r.Scenario.Config)
+	if r.Axis != "" {
+		fmt.Fprintf(&b, ", sweeping %s", r.Axis)
+	}
+	b.WriteByte('\n')
+	if r.Scenario.Description != "" {
+		fmt.Fprintf(&b, "%s\n", r.Scenario.Description)
+	}
+
+	axisHdr := r.Axis
+	if axisHdr == "" {
+		axisHdr = "point"
+	}
+	header := []string{axisHdr, "workload", "served", "mean", "p99", "SoC", "DRAM", "total", "all-idle", "PC1A res", "dropped"}
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		pc1a := "-"
+		if p.PC1AResidency != nil {
+			pc1a = fmt.Sprintf("%.1f%%", *p.PC1AResidency*100)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", p.Axis),
+			p.Workload,
+			fmt.Sprintf("%d", p.Served),
+			fmt.Sprintf("%.1fus", p.MeanLatency*1e6),
+			fmt.Sprintf("%.1fus", p.P99Latency*1e6),
+			fmt.Sprintf("%.1fW", p.SoCWatts),
+			fmt.Sprintf("%.2fW", p.DRAMWatts),
+			fmt.Sprintf("%.1fW", p.TotalWatts),
+			fmt.Sprintf("%.1f%%", p.AllIdle*100),
+			pc1a,
+			fmt.Sprintf("%d", p.Dropped),
+		})
+	}
+	b.WriteString(experiments.RenderTable(header, rows))
+	return b.String()
+}
+
+// WriteCSV implements experiments.CSVWriter.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "axis,workload,offered_qps,served,generated,dropped,mean_s,p50_s,p99_s,soc_w,dram_w,total_w,cc0,cc1,all_idle,all_idle_censored,pc1a_residency,pc1a_entries"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		// PC1A cells stay empty on configurations without an APMU.
+		pc1aRes, pc1aEnt := "", ""
+		if p.PC1AResidency != nil {
+			pc1aRes = fmt.Sprintf("%g", *p.PC1AResidency)
+		}
+		if p.PC1AEntries != nil {
+			pc1aEnt = fmt.Sprintf("%d", *p.PC1AEntries)
+		}
+		if _, err := fmt.Fprintf(w, "%g,%s,%g,%d,%d,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%s,%s\n",
+			p.Axis, p.Workload, p.OfferedQPS, p.Served, p.Generated, p.Dropped,
+			p.MeanLatency, p.P50Latency, p.P99Latency,
+			p.SoCWatts, p.DRAMWatts, p.TotalWatts,
+			p.CC0Residency, p.CC1Residency, p.AllIdle, p.AllIdleCensored,
+			pc1aRes, pc1aEnt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,366 @@
+// Package scenario is the declarative layer over the simulator: a
+// Scenario names a SoC configuration, a workload, a set of server-config
+// overrides and an optional sweep axis, and Run wires them together the
+// same way the built-in experiments do. Scenarios load from JSON (with
+// unknown fields rejected) or are built programmatically, so a new
+// operating point — a different QPS axis, tick rate, batching epoch or
+// network latency — is data, not a new Go file.
+//
+// A minimal file:
+//
+//	{
+//	  "name": "memcached-tickrate",
+//	  "config": "CPC1A",
+//	  "workload": {"service": "memcached", "qps": 20000},
+//	  "server": {"tick_kernel_us": 2},
+//	  "sweep": {"axis": "tick_hz", "values": [0, 100, 250, 1000]}
+//	}
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"agilepkgc/internal/experiments"
+	"agilepkgc/internal/server"
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/workload"
+)
+
+// Scenario is one declarative experiment specification.
+type Scenario struct {
+	// Name identifies the scenario in reports and output filenames.
+	Name string `json:"name"`
+	// Description is an optional one-line summary.
+	Description string `json:"description,omitempty"`
+	// Config is the SoC configuration kind: "Cshallow", "Cdeep" or
+	// "CPC1A".
+	Config string `json:"config"`
+	// DurationMS, when non-zero, overrides the runner's measurement
+	// window (milliseconds of virtual time per point).
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	// Seed, when non-zero, overrides the runner's random seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Workload selects the request stream.
+	Workload Workload `json:"workload"`
+	// Server overrides individual server.Config knobs; unset fields keep
+	// the evaluation defaults.
+	Server Overrides `json:"server,omitempty"`
+	// Sweep, when present, evaluates the scenario once per axis value
+	// instead of once.
+	Sweep *Sweep `json:"sweep,omitempty"`
+}
+
+// Workload declares the request stream. Exactly one rate field applies
+// per service; see the axis list in Sweep for which fields a sweep can
+// drive instead.
+type Workload struct {
+	// Service is one of "memcached", "memcached-bursty", "mysql",
+	// "kafka" or "sysbench" (closed-loop).
+	Service string `json:"service"`
+	// QPS is the open-loop arrival rate (memcached family).
+	QPS float64 `json:"qps,omitempty"`
+	// Util is the target processor utilization, an alternative to QPS
+	// for the memcached service.
+	Util float64 `json:"util,omitempty"`
+	// Load is the processor-load fraction (mysql and kafka).
+	Load float64 `json:"load,omitempty"`
+	// Burstiness is the MMPP burstiness parameter (memcached-bursty).
+	Burstiness float64 `json:"burstiness,omitempty"`
+	// Threads is the closed-loop client-thread count (sysbench).
+	Threads int `json:"threads,omitempty"`
+	// ThinkMS is the closed-loop mean think time in milliseconds
+	// (sysbench).
+	ThinkMS float64 `json:"think_ms,omitempty"`
+}
+
+// Overrides adjusts server.Config knobs. Pointer fields distinguish
+// "unset" (keep the evaluation default) from an explicit zero.
+type Overrides struct {
+	NetworkLatencyUS *float64 `json:"network_latency_us,omitempty"`
+	NICTransferNS    *float64 `json:"nic_transfer_ns,omitempty"`
+	KernelOverheadUS *float64 `json:"kernel_overhead_us,omitempty"`
+	BatchEpochUS     *float64 `json:"batch_epoch_us,omitempty"`
+	TimerTickHz      *float64 `json:"timer_tick_hz,omitempty"`
+	TickKernelUS     *float64 `json:"tick_kernel_us,omitempty"`
+}
+
+// validate rejects physically meaningless knob settings before they
+// reach the engine (negative durations panic the scheduler; negative
+// latencies silently corrupt histograms).
+func (o Overrides) validate() error {
+	for name, v := range map[string]*float64{
+		"network_latency_us": o.NetworkLatencyUS,
+		"nic_transfer_ns":    o.NICTransferNS,
+		"kernel_overhead_us": o.KernelOverheadUS,
+		"batch_epoch_us":     o.BatchEpochUS,
+		"timer_tick_hz":      o.TimerTickHz,
+		"tick_kernel_us":     o.TickKernelUS,
+	} {
+		if v != nil && *v < 0 {
+			return fmt.Errorf("server.%s must not be negative (got %g)", name, *v)
+		}
+	}
+	return nil
+}
+
+func (o Overrides) apply(cfg *server.Config) {
+	us := func(v float64) sim.Duration { return sim.Duration(v * float64(sim.Microsecond)) }
+	if o.NetworkLatencyUS != nil {
+		cfg.NetworkLatency = us(*o.NetworkLatencyUS)
+	}
+	if o.NICTransferNS != nil {
+		cfg.NICTransfer = sim.Duration(*o.NICTransferNS * float64(sim.Nanosecond))
+	}
+	if o.KernelOverheadUS != nil {
+		cfg.KernelOverhead = us(*o.KernelOverheadUS)
+	}
+	if o.BatchEpochUS != nil {
+		cfg.BatchEpoch = us(*o.BatchEpochUS)
+	}
+	if o.TimerTickHz != nil {
+		cfg.TimerTickHz = *o.TimerTickHz
+	}
+	if o.TickKernelUS != nil {
+		cfg.TickKernelTime = us(*o.TickKernelUS)
+	}
+}
+
+// Sweep evaluates the scenario at each value of one axis.
+type Sweep struct {
+	// Axis names the swept parameter.
+	Axis string `json:"axis"`
+	// Values are the axis points, evaluated in order.
+	Values []float64 `json:"values"`
+}
+
+// Axis names a Sweep can drive.
+const (
+	AxisQPS            = "qps"
+	AxisUtil           = "util"
+	AxisLoad           = "load"
+	AxisBurstiness     = "burstiness"
+	AxisThreads        = "threads"
+	AxisBatchEpochUS   = "batch_epoch_us"
+	AxisTickHz         = "tick_hz"
+	AxisNetworkLatency = "network_latency_us"
+)
+
+var knownAxes = map[string]bool{
+	AxisQPS: true, AxisUtil: true, AxisLoad: true, AxisBurstiness: true,
+	AxisThreads: true, AxisBatchEpochUS: true, AxisTickHz: true,
+	AxisNetworkLatency: true,
+}
+
+// serverAxes drive server.Config knobs and apply to every service.
+var serverAxes = map[string]bool{
+	AxisBatchEpochUS: true, AxisTickHz: true, AxisNetworkLatency: true,
+}
+
+// workloadAxes lists which workload-side axes each service actually
+// reads; sweeping an axis a service ignores would silently produce N
+// identical points, so Validate rejects it.
+var workloadAxes = map[string]map[string]bool{
+	"memcached":        {AxisQPS: true, AxisUtil: true},
+	"memcached-bursty": {AxisQPS: true, AxisBurstiness: true},
+	"mysql":            {AxisLoad: true},
+	"kafka":            {AxisLoad: true},
+	"sysbench":         {AxisThreads: true},
+}
+
+// Axes returns the supported sweep axis names, sorted.
+func Axes() []string {
+	out := make([]string, 0, len(knownAxes))
+	for a := range knownAxes {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// at returns a copy of the scenario with one axis value applied.
+func (s Scenario) at(axis string, v float64) Scenario {
+	switch axis {
+	case AxisQPS:
+		s.Workload.QPS, s.Workload.Util = v, 0
+	case AxisUtil:
+		s.Workload.Util, s.Workload.QPS = v, 0
+	case AxisLoad:
+		s.Workload.Load = v
+	case AxisBurstiness:
+		s.Workload.Burstiness = v
+	case AxisThreads:
+		s.Workload.Threads = int(v)
+	case AxisBatchEpochUS:
+		s.Server.BatchEpochUS = &v
+	case AxisTickHz:
+		s.Server.TimerTickHz = &v
+	case AxisNetworkLatency:
+		s.Server.NetworkLatencyUS = &v
+	}
+	return s
+}
+
+// Validate checks the parts of the scenario that do not depend on axis
+// values: the config kind, service name, sweep axis and value list.
+// Per-point rate validation happens when the points are built, after the
+// axis value is applied.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if _, err := soc.ParseConfigKind(s.Config); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	switch s.Workload.Service {
+	case "memcached", "memcached-bursty", "mysql", "kafka", "sysbench":
+	case "":
+		return fmt.Errorf("scenario %q: missing workload.service", s.Name)
+	default:
+		return fmt.Errorf("scenario %q: unknown workload.service %q", s.Name, s.Workload.Service)
+	}
+	if s.Sweep != nil {
+		if !knownAxes[s.Sweep.Axis] {
+			return fmt.Errorf("scenario %q: unknown sweep axis %q (want one of %v)",
+				s.Name, s.Sweep.Axis, Axes())
+		}
+		if !serverAxes[s.Sweep.Axis] && !workloadAxes[s.Workload.Service][s.Sweep.Axis] {
+			return fmt.Errorf("scenario %q: service %q ignores sweep axis %q — every point would be identical",
+				s.Name, s.Workload.Service, s.Sweep.Axis)
+		}
+		if len(s.Sweep.Values) == 0 {
+			return fmt.Errorf("scenario %q: sweep has no values", s.Name)
+		}
+		for _, v := range s.Sweep.Values {
+			if v < 0 {
+				return fmt.Errorf("scenario %q: negative %s value %g", s.Name, s.Sweep.Axis, v)
+			}
+			if s.Sweep.Axis == AxisThreads && v != float64(int(v)) {
+				return fmt.Errorf("scenario %q: threads value %g is not an integer", s.Name, v)
+			}
+		}
+	}
+	if s.DurationMS < 0 {
+		return fmt.Errorf("scenario %q: negative duration_ms", s.Name)
+	}
+	if err := s.Server.validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return nil
+}
+
+// spec builds the workload for one fully-applied scenario point.
+// Closed-loop services (sysbench) return ok=false and are handled by
+// the closed-loop path in run.go.
+func (w Workload) spec(cores int) (spec workload.Spec, open bool, err error) {
+	switch w.Service {
+	case "memcached":
+		switch {
+		case w.QPS > 0 && w.Util > 0:
+			return spec, false, fmt.Errorf("memcached: set qps or util, not both")
+		case w.QPS > 0:
+			return workload.Memcached(w.QPS), true, nil
+		case w.Util > 0:
+			return workload.MemcachedAtUtil(w.Util, cores), true, nil
+		default:
+			return spec, false, fmt.Errorf("memcached: needs qps or util > 0")
+		}
+	case "memcached-bursty":
+		if w.QPS <= 0 {
+			return spec, false, fmt.Errorf("memcached-bursty: needs qps > 0")
+		}
+		b := w.Burstiness
+		if b <= 0 {
+			return spec, false, fmt.Errorf("memcached-bursty: needs burstiness > 0")
+		}
+		return workload.MemcachedBursty(w.QPS, b), true, nil
+	case "mysql":
+		if w.Load <= 0 {
+			return spec, false, fmt.Errorf("mysql: needs load > 0")
+		}
+		return workload.MySQL(w.Load, cores), true, nil
+	case "kafka":
+		if w.Load <= 0 {
+			return spec, false, fmt.Errorf("kafka: needs load > 0")
+		}
+		return workload.Kafka(w.Load, cores), true, nil
+	case "sysbench":
+		if w.Threads <= 0 {
+			return spec, false, fmt.Errorf("sysbench: needs threads > 0")
+		}
+		if w.ThinkMS < 0 {
+			return spec, false, fmt.Errorf("sysbench: negative think_ms")
+		}
+		return spec, false, nil
+	default:
+		return spec, false, fmt.Errorf("unknown service %q", w.Service)
+	}
+}
+
+// Load decodes one scenario or a JSON array of scenarios, rejecting
+// unknown fields so typos fail loudly instead of silently running the
+// defaults.
+func Load(r io.Reader) ([]Scenario, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var scs []Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		err = dec.Decode(&scs)
+	} else {
+		var sc Scenario
+		if err = dec.Decode(&sc); err == nil {
+			scs = []Scenario{sc}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after the first value — wrap multiple scenarios in a JSON array")
+	}
+	for i := range scs {
+		if err := scs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return scs, nil
+}
+
+// LoadFile reads scenarios from a JSON file.
+func LoadFile(path string) ([]Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	scs, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return scs, nil
+}
+
+// EffectiveOptions resolves the runner options the scenario actually
+// executes under: the given defaults with the scenario's duration_ms and
+// seed overrides applied. Run uses it internally; callers recording run
+// metadata should use it too, so the recorded window and seed match the
+// simulation.
+func (s *Scenario) EffectiveOptions(opt experiments.Options) experiments.Options {
+	if s.DurationMS > 0 {
+		opt.Duration = sim.Duration(s.DurationMS * float64(sim.Millisecond))
+	}
+	if s.Seed != 0 {
+		opt.Seed = s.Seed
+	}
+	return opt
+}

@@ -64,6 +64,7 @@ type Server struct {
 
 	served   uint64
 	inFlight int
+	dropped  uint64
 
 	batch        []func()
 	batchArmed   bool
@@ -120,9 +121,20 @@ func (s *Server) armTicks() {
 	}
 }
 
+// drainCap bounds how much extra virtual time Run spends draining
+// stragglers after the generator stops. It exists only to bound
+// pathological runs (a backlog that cannot clear); anything still in
+// flight when it trips is surfaced via Dropped instead of silently
+// abandoned.
+const drainCap = 10 * sim.Second
+
 // Run generates load for the given duration of virtual time and then
-// drains: the engine runs until all in-flight requests complete. On a
-// closed-loop server (no generator) it simply advances time and drains.
+// drains: the engine runs until every in-flight request completes, up to
+// drainCap of extra virtual time. Requests still in flight when the cap
+// trips are counted in Dropped. On a closed-loop server (no generator)
+// Run only advances time — clients issue continuously, so "drained"
+// is meaningless until the caller stops them; call Run again after
+// ClosedLoopClient.Stop to flush the tail.
 func (s *Server) Run(d sim.Duration) {
 	eng := s.sys.Engine
 	stop := eng.Now() + d
@@ -130,11 +142,27 @@ func (s *Server) Run(d sim.Duration) {
 		s.gen.Start(stop)
 	}
 	eng.Run(stop)
-	// Drain stragglers.
-	for i := 0; i < 100 && s.inFlight > 0; i++ {
+	if s.gen == nil {
+		return
+	}
+	// Drain stragglers: the generator is stopped, so inFlight can only
+	// fall.
+	deadline := eng.Now() + drainCap
+	for s.inFlight > 0 && eng.Now() < deadline {
 		eng.Run(eng.Now() + sim.Millisecond)
 	}
+	// Snapshot, not accumulate: a request reported here may still
+	// complete during a later Run call, so summing across calls would
+	// double-count. At any instant served + dropped == generated.
+	s.dropped = uint64(s.inFlight)
 }
+
+// Dropped reports requests that were still in flight when the most
+// recent Run call gave up draining (the drainCap tripped) — the requests
+// older code silently lost. A non-zero value means latency and
+// throughput figures exclude these requests. Always 0 on closed-loop
+// servers, which do not drain.
+func (s *Server) Dropped() uint64 { return s.dropped }
 
 // Latencies returns the client-observed latency histogram (seconds).
 func (s *Server) Latencies() *stats.Histogram { return s.lat }

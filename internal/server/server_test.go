@@ -6,6 +6,7 @@ import (
 	"agilepkgc/internal/pmu"
 	"agilepkgc/internal/sim"
 	"agilepkgc/internal/soc"
+	"agilepkgc/internal/stats"
 	"agilepkgc/internal/workload"
 )
 
@@ -189,5 +190,77 @@ func TestTimerTicksErodePC1A(t *testing.T) {
 	// But the system still functions and reaches PC1A between ticks.
 	if tickful < 0.3 {
 		t.Fatalf("tickful residency %v collapsed entirely", tickful)
+	}
+}
+
+// A tail slower than the old fixed 100ms drain cap must still be served:
+// Run drains until every in-flight request completes.
+func TestRunDrainsSlowTails(t *testing.T) {
+	spec := workload.Spec{
+		Name:        "slow-tail",
+		Arrivals:    stats.Poisson{RateV: 100},
+		Service:     stats.Deterministic{V: 0.15}, // 150ms on-core, per request
+		Connections: 10,
+		MemAccesses: 1,
+	}
+	sys := soc.New(soc.DefaultConfig(soc.Cshallow))
+	srv := New(sys, DefaultConfig(), spec)
+	srv.Run(20 * sim.Millisecond)
+	if srv.Generated() == 0 {
+		t.Fatal("no load generated")
+	}
+	if srv.Served() != srv.Generated() {
+		t.Fatalf("served %d != generated %d: slow tail was abandoned", srv.Served(), srv.Generated())
+	}
+	if srv.Dropped() != 0 {
+		t.Fatalf("dropped %d, want 0", srv.Dropped())
+	}
+}
+
+// When the backlog genuinely cannot clear within the drain cap, Run
+// surfaces the leak through Dropped instead of losing it silently.
+func TestRunSurfacesDroppedRequests(t *testing.T) {
+	spec := workload.Spec{
+		Name:        "stuck",
+		Arrivals:    stats.Poisson{RateV: 10000},
+		Service:     stats.Deterministic{V: 2 * drainCap.Seconds()}, // can never finish draining
+		Connections: 10,
+		MemAccesses: 1,
+	}
+	sys := soc.New(soc.DefaultConfig(soc.Cshallow))
+	srv := New(sys, DefaultConfig(), spec)
+	srv.Run(sim.Millisecond)
+	if srv.Dropped() == 0 {
+		t.Fatal("drain cap tripped but Dropped() == 0")
+	}
+	if srv.Served()+srv.Dropped() != srv.Generated() {
+		t.Fatalf("served %d + dropped %d != generated %d",
+			srv.Served(), srv.Dropped(), srv.Generated())
+	}
+	// Dropped is a snapshot of the latest Run, not an accumulator: a
+	// second Run must not double-count the same stuck requests, and the
+	// invariant must keep holding.
+	srv.Run(sim.Millisecond)
+	if srv.Served()+srv.Dropped() != srv.Generated() {
+		t.Fatalf("after second Run: served %d + dropped %d != generated %d",
+			srv.Served(), srv.Dropped(), srv.Generated())
+	}
+}
+
+// Closed-loop servers have no generator to stop, so Run must advance
+// exactly the requested window and leave draining to the caller.
+func TestClosedLoopRunAdvancesExactly(t *testing.T) {
+	sys := soc.New(soc.DefaultConfig(soc.CPC1A))
+	srv := NewClosedLoop(sys, DefaultConfig())
+	cl := workload.SysbenchOLTP(sys.Engine, 8, 1e-3, 1, srv.Submit)
+	cl.Start()
+	srv.Run(30 * sim.Millisecond)
+	if got := sys.Engine.Now(); got != 30*sim.Millisecond {
+		t.Fatalf("closed-loop Run advanced to %v, want exactly 30ms", got)
+	}
+	cl.Stop()
+	srv.Run(20 * sim.Millisecond) // flush the tail
+	if cl.Completed() == 0 {
+		t.Fatal("nothing completed")
 	}
 }

@@ -55,6 +55,22 @@ func (k ConfigKind) String() string {
 	}
 }
 
+// ParseConfigKind maps a configuration name to its kind. It accepts the
+// String() forms plus the underscore-free spellings declarative
+// scenario files use ("Cshallow", "Cdeep", "CPC1A" / "C_PC1A").
+func ParseConfigKind(s string) (ConfigKind, error) {
+	switch s {
+	case "Cshallow":
+		return Cshallow, nil
+	case "Cdeep":
+		return Cdeep, nil
+	case "CPC1A", "C_PC1A":
+		return CPC1A, nil
+	default:
+		return 0, fmt.Errorf("soc: unknown config kind %q (want Cshallow, Cdeep or CPC1A)", s)
+	}
+}
+
 // Config parameterizes a System. Zero values are filled from defaults.
 type Config struct {
 	Kind      ConfigKind

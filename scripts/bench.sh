@@ -4,14 +4,15 @@
 # Writes:
 #   bench.txt        raw `go test -bench` output, benchstat-comparable
 #                    (benchstat old.txt bench.txt)
-#   BENCH_pr1.json   parsed {name, ns_op, b_op, allocs_op} records, the
-#                    perf-trajectory snapshot for this PR
+#   BENCH_pr2.json   parsed {name, ns_op, b_op, allocs_op} records, the
+#                    perf-trajectory snapshot for this PR (earlier PRs'
+#                    snapshots stay committed as BENCH_pr<N>.json)
 set -e
 cd "$(dirname "$0")/.."
 
 MODE="${1:-all}"
 OUT=bench.txt
-SNAP=BENCH_pr1.json
+SNAP=BENCH_pr2.json
 
 case "$MODE" in
 sim)
