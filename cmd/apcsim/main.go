@@ -1,6 +1,7 @@
 // Command apcsim regenerates the tables and figures of the AgilePkgC
 // paper (MICRO 2022) from the simulator and runs declarative scenario
-// files against it.
+// files — single machines or load-balanced fleets (a "cluster" block;
+// see README.md "Scenario schema reference") — against it.
 //
 // Usage:
 //

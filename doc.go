@@ -2,10 +2,57 @@
 // "AgilePkgC: An Agile System Idle State Architecture for Energy
 // Proportional Datacenter Servers" (MICRO 2022).
 //
-// The library models a Skylake-class server SoC (cores and C-states, IO
-// links and L-states, DRAM power modes, FIVR power delivery, PLL clocking)
-// plus the paper's contribution — the APMU hardware FSM implementing the
-// PC1A agile package C-state — and regenerates every table and figure of
-// the paper's evaluation. See README.md for a tour and DESIGN.md for the
-// architecture and calibration.
+// Latency-critical servers idle 60–70% of the time but almost never get
+// to use deep package C-states: entry and exit are too slow for
+// microsecond-scale request gaps. The paper's answer, reproduced here,
+// is PC1A — an agile package C-state run by a small dedicated hardware
+// FSM (the APMU) that harvests only the fast-entry/fast-exit savings
+// (CLM retention voltage, DRAM CKE-off, IO link standby, PLLs kept
+// locked) so the whole round trip costs ~200 ns instead of tens of
+// microseconds.
+//
+// # Layer map
+//
+// Everything runs on one deterministic discrete-event engine; each
+// layer below builds on the ones above it:
+//
+//	internal/sim          the engine: pooled, allocation-free, strict
+//	                      (time, sequence) event order
+//	internal/clock        PLLs and relock latencies
+//	internal/pdn          FIVR power delivery and voltage ramps
+//	internal/cpu          cores, core C-states, idle governors
+//	internal/ios          PCIe/DMI/UPI links and their L-states
+//	internal/dram         memory controllers, CKE power-down, self-refresh
+//	internal/uncore       CLM (cache/LLC module) retention
+//	internal/pmu          global PMU: the legacy PC2/PC6 flows
+//	internal/core         the APMU FSM implementing PC1A
+//	internal/soc          assembles the above into the paper's three
+//	                      evaluated configurations (Cshallow, Cdeep, CPC1A)
+//	internal/power        piecewise-constant power/energy accounting
+//	internal/workload     Memcached/MySQL/Kafka open-loop streams and a
+//	                      closed-loop sysbench client
+//	internal/server       the software stack of one service instance:
+//	                      NIC DMA, kernel overhead, core dispatch,
+//	                      client-observed latency
+//	internal/cluster      fleets: N servers on one shared engine behind
+//	                      a load balancer with power-aware routing
+//	internal/trace        C-state residency tracing, idle-period stats,
+//	                      VCD dump
+//	internal/stats        histograms, P² quantiles, distributions, RNG
+//	internal/experiments  the self-registering registry of paper
+//	                      artifacts plus the parallel sweep runner
+//	internal/scenario     declarative JSON scenarios over all of the
+//	                      above
+//
+// # Entry points
+//
+// cmd/apcsim regenerates any subset of the paper's evaluation
+// (`apcsim list`, `apcsim run all`, `apcsim scenario file.json`) and
+// cmd/apctop is a live TUI over a simulated machine's MSR/PMU readout
+// surfaces. The examples/ directory holds small programmatic drivers.
+//
+// Every run is reproducible: same seed, bit-identical traces, at any
+// parallelism. README.md is the tour; DESIGN.md documents the engine
+// internals, the registry/scenario architecture, the cluster layer and
+// the power-model calibration.
 package agilepkgc

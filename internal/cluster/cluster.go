@@ -1,0 +1,464 @@
+// Package cluster simulates a fleet of servers behind one load
+// balancer — the layer above internal/server that makes datacenter-level
+// questions (watts per QPS across N machines, does packing load onto few
+// servers deepen PC1A residency on the drained ones?) expressible.
+//
+// A Fleet is N independent soc.System + server.Server instances driven
+// from ONE deterministic sim.Engine: every NIC DMA, C-state transition
+// and response on every machine is an event in a single (time, sequence)
+// order, so a fleet run is exactly as reproducible as a single-machine
+// run — same seed, bit-identical traces. The aggregate request stream is
+// produced by one workload.Generator seeded from the caller's seed, and
+// a routing policy assigns each arrival to a member:
+//
+//	round_robin  — arrival i goes to server i mod N.
+//	least_loaded — fewest in-flight requests; ties break to the lowest
+//	               server index (deterministic).
+//	power_aware  — pack onto the lowest-indexed server whose in-flight
+//	               count is below a per-server cap derived from the p99
+//	               latency target, so high-indexed servers stay idle and
+//	               sink into deep package C-states. When every server is
+//	               at its cap the policy degrades to least_loaded rather
+//	               than queueing at the balancer.
+//
+// Each member keeps its own power meter; fleet power is the sum of the
+// per-server meters' energy integrals over the measured window. A
+// 1-server round_robin fleet is, by construction, byte-for-byte the
+// single-server simulation (the scenario layer's parity test enforces
+// this), which pins the cluster layer as a strict generalization.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"agilepkgc/internal/cpu"
+	"agilepkgc/internal/pmu"
+	"agilepkgc/internal/power"
+	"agilepkgc/internal/server"
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/stats"
+	"agilepkgc/internal/trace"
+	"agilepkgc/internal/workload"
+)
+
+// Policy selects how the load balancer assigns arrivals to servers.
+type Policy int
+
+const (
+	// RoundRobin cycles arrivals across servers in index order.
+	RoundRobin Policy = iota
+	// LeastLoaded routes to the server with the fewest in-flight
+	// requests (lowest index wins ties).
+	LeastLoaded
+	// PowerAware packs arrivals onto the fewest servers that keep p99
+	// latency under Config.P99Target, leaving the rest idle.
+	PowerAware
+)
+
+// String returns the policy's scenario-file spelling.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round_robin"
+	case LeastLoaded:
+		return "least_loaded"
+	case PowerAware:
+		return "power_aware"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a scenario-file spelling to its Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "round_robin":
+		return RoundRobin, nil
+	case "least_loaded":
+		return LeastLoaded, nil
+	case "power_aware":
+		return PowerAware, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown policy %q (want one of %v)", s, PolicyNames())
+	}
+}
+
+// PolicyNames returns the supported policy spellings, sorted.
+func PolicyNames() []string {
+	names := []string{RoundRobin.String(), LeastLoaded.String(), PowerAware.String()}
+	sort.Strings(names)
+	return names
+}
+
+// MemberConfig configures one server of the fleet.
+type MemberConfig struct {
+	// SoC is the machine configuration (kind, core count, power params).
+	SoC soc.Config
+	// Server is the software-stack configuration (network latency,
+	// kernel overhead, batching, timer ticks).
+	Server server.Config
+}
+
+// Config parameterizes a Fleet.
+type Config struct {
+	// Policy is the routing policy.
+	Policy Policy
+	// P99Target is the latency budget the power_aware policy packs
+	// against; required (> 0) for PowerAware, ignored otherwise.
+	P99Target sim.Duration
+	// Members configures each server; the slice index is the server id
+	// routing policies and reports use.
+	Members []MemberConfig
+}
+
+// member is one server plus the balancer's bookkeeping for it. Policy
+// decisions read the server's own in-flight counter (srv.InFlight());
+// the balancer adds only what the server cannot know: how many arrivals
+// were assigned to it and how many it leaked at drain time.
+type member struct {
+	sys     *soc.System
+	srv     *server.Server
+	cap     int // power_aware in-flight cap
+	routed  uint64
+	dropped uint64
+}
+
+// Fleet is N servers behind one load balancer on one engine.
+type Fleet struct {
+	eng  *sim.Engine
+	cfg  Config
+	spec workload.Spec
+	gen  *workload.Generator
+
+	members []*member
+	rr      int
+}
+
+// New assembles a fleet on a fresh engine: every member's SoC and server
+// are built in index order on the shared engine, then one aggregate
+// generator (seeded with seed) feeds the balancer. The workload must be
+// open-loop: closed-loop clients bind to a single server's Submit and
+// bypass the balancer entirely.
+func New(cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("cluster: fleet needs at least one member")
+	}
+	switch cfg.Policy {
+	case RoundRobin, LeastLoaded:
+	case PowerAware:
+		if cfg.P99Target <= 0 {
+			return nil, fmt.Errorf("cluster: power_aware needs P99Target > 0")
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %v", cfg.Policy)
+	}
+	if spec.Arrivals == nil {
+		return nil, fmt.Errorf("cluster: open-loop workload required (spec has no arrival process)")
+	}
+
+	eng := sim.NewEngine()
+	f := &Fleet{eng: eng, cfg: cfg, spec: spec}
+	for _, mc := range cfg.Members {
+		m := &member{
+			sys: soc.NewOnEngine(mc.SoC, eng),
+			cap: powerAwareCap(mc, spec, cfg.P99Target),
+		}
+		m.srv = server.NewClosedLoop(m.sys, mc.Server)
+		f.members = append(f.members, m)
+	}
+	f.gen = workload.NewGenerator(eng, spec, seed, f.route)
+	return f, nil
+}
+
+// powerAwareCap derives the per-server in-flight cap the power_aware
+// policy packs against. A request's latency floor is network RTT + both
+// NIC transfers + kernel + mean service time; each in-flight request
+// beyond one-per-core adds roughly meanCoreTime/cores of queueing delay.
+// The cap spends the slack between the floor and the p99 target on
+// queueing:
+//
+//	cap = cores + (target − floor) / (meanCoreTime / cores)
+//
+// clamped to at least 1 so a server can always make progress. The
+// derivation uses only configuration and workload means, so it is a
+// deterministic function of the inputs — no online estimation, no
+// feedback loops that could order events differently across runs.
+func powerAwareCap(mc MemberConfig, spec workload.Spec, target sim.Duration) int {
+	cores := mc.SoC.CoreCount
+	if cores <= 0 || target <= 0 {
+		return 1
+	}
+	meanService := sim.Duration(spec.Service.Mean() * float64(sim.Second))
+	meanCoreTime := meanService + mc.Server.KernelOverhead
+	floor := mc.Server.NetworkLatency + 2*mc.Server.NICTransfer +
+		mc.Server.KernelOverhead + meanService
+	cap := cores
+	if slack := target - floor; slack > 0 && meanCoreTime > 0 {
+		cap += int(slack * sim.Duration(cores) / meanCoreTime)
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// route assigns one arrival to a member according to the policy.
+func (f *Fleet) route(req *workload.Request) {
+	m := f.pick()
+	m.routed++
+	m.srv.Submit(req, nil)
+}
+
+// pick implements the three routing policies. All tie-breaks are by
+// server index, so routing is a deterministic function of the servers'
+// in-flight state.
+func (f *Fleet) pick() *member {
+	switch f.cfg.Policy {
+	case LeastLoaded:
+		return f.leastLoaded()
+	case PowerAware:
+		for _, m := range f.members {
+			if m.srv.InFlight() < m.cap {
+				return m
+			}
+		}
+		// Every server is at its cap: the latency target is not
+		// holdable at this load, so degrade to least_loaded instead of
+		// queueing arrivals at the balancer.
+		return f.leastLoaded()
+	default: // RoundRobin
+		m := f.members[f.rr%len(f.members)]
+		f.rr++
+		return m
+	}
+}
+
+// leastLoaded returns the member with the fewest in-flight requests,
+// lowest index on ties.
+func (f *Fleet) leastLoaded() *member {
+	best := f.members[0]
+	for _, m := range f.members[1:] {
+		if m.srv.InFlight() < best.srv.InFlight() {
+			best = m
+		}
+	}
+	return best
+}
+
+// Engine returns the shared engine all members run on.
+func (f *Fleet) Engine() *sim.Engine { return f.eng }
+
+// Servers returns the fleet size.
+func (f *Fleet) Servers() int { return len(f.members) }
+
+// Generated returns how many requests the aggregate generator emitted.
+func (f *Fleet) Generated() uint64 { return f.gen.Generated() }
+
+// Dropped returns the fleet-wide leak counter: requests still in flight
+// when the most recent Run call gave up draining (per-server values are
+// in Measurement.Servers). Mirrors server.(*Server).Dropped for a fleet.
+func (f *Fleet) Dropped() uint64 {
+	var n uint64
+	for _, m := range f.members {
+		n += m.dropped
+	}
+	return n
+}
+
+// inFlightTotal sums the servers' in-flight counters.
+func (f *Fleet) inFlightTotal() int {
+	n := 0
+	for _, m := range f.members {
+		n += m.srv.InFlight()
+	}
+	return n
+}
+
+// Run generates aggregate load for d of virtual time, then drains until
+// every in-flight request on every server completes, up to
+// server.DrainCap of extra virtual time — the same window/drain sequence
+// as server.(*Server).Run, which the 1-server parity contract depends
+// on. Requests still in flight when the cap trips are snapshotted into
+// the per-member dropped counters.
+func (f *Fleet) Run(d sim.Duration) {
+	stop := f.eng.Now() + d
+	f.gen.Start(stop)
+	f.eng.Run(stop)
+	deadline := f.eng.Now() + server.DrainCap
+	for f.inFlightTotal() > 0 && f.eng.Now() < deadline {
+		f.eng.Run(f.eng.Now() + sim.Millisecond)
+	}
+	for _, m := range f.members {
+		m.dropped = uint64(m.srv.InFlight())
+	}
+}
+
+// ServerStats is the measured outcome of one fleet member.
+type ServerStats struct {
+	// Index is the server id (position in Config.Members).
+	Index int `json:"index"`
+	// Routed counts arrivals the balancer assigned to this server.
+	Routed uint64 `json:"routed"`
+	// Served counts completed requests; Dropped counts requests still in
+	// flight when the fleet drain gave up.
+	Served  uint64 `json:"served"`
+	Dropped uint64 `json:"dropped"`
+
+	// Client-observed latencies of this server's requests, seconds.
+	MeanLatency float64 `json:"mean_latency_s"`
+	P99Latency  float64 `json:"p99_latency_s"`
+
+	// Average watts over the measured window, from this server's own
+	// meter.
+	SoCWatts   float64 `json:"soc_w"`
+	DRAMWatts  float64 `json:"dram_w"`
+	TotalWatts float64 `json:"total_w"`
+
+	// Core residencies over the measured window.
+	CC0Residency    float64 `json:"cc0_residency"`
+	CC1Residency    float64 `json:"cc1_residency"`
+	AllIdle         float64 `json:"all_idle"`
+	AllIdleCensored float64 `json:"all_idle_censored"`
+
+	// PC1A statistics; nil on configurations without an APMU.
+	PC1AResidency *float64 `json:"pc1a_residency,omitempty"`
+	PC1AEntries   *uint64  `json:"pc1a_entries,omitempty"`
+}
+
+// Measurement is the fleet-wide outcome of one measured window:
+// aggregates over all servers plus the per-server breakdown. Counters
+// are sums; watts are sums of per-server meter averages (energy is
+// additive); residencies are unweighted means (every member measures the
+// same window); latency quantiles come from the merged per-server
+// histograms.
+type Measurement struct {
+	Served    uint64 `json:"served"`
+	Generated uint64 `json:"generated"`
+	Dropped   uint64 `json:"dropped"`
+
+	// ServedWindow counts only the requests completed inside the
+	// measured window (Served also includes warmup), and Window is that
+	// window's actual extent including the drain tail — the pair
+	// throughput rates must be computed from, since the power averages
+	// cover the same interval.
+	ServedWindow uint64       `json:"served_window"`
+	Window       sim.Duration `json:"window_ns"`
+
+	MeanLatency float64 `json:"mean_latency_s"`
+	P50Latency  float64 `json:"p50_latency_s"`
+	P99Latency  float64 `json:"p99_latency_s"`
+	P999Latency float64 `json:"p999_latency_s"`
+
+	SoCWatts   float64 `json:"soc_w"`
+	DRAMWatts  float64 `json:"dram_w"`
+	TotalWatts float64 `json:"total_w"`
+
+	CC0Residency    float64 `json:"cc0_residency"`
+	CC1Residency    float64 `json:"cc1_residency"`
+	AllIdle         float64 `json:"all_idle"`
+	AllIdleCensored float64 `json:"all_idle_censored"`
+
+	// Fleet PC1A statistics: residency is the mean over members,
+	// entries the sum. Nil when the members have no APMU.
+	PC1AResidency *float64 `json:"pc1a_residency,omitempty"`
+	PC1AEntries   *uint64  `json:"pc1a_entries,omitempty"`
+
+	Servers []ServerStats `json:"servers"`
+}
+
+// Measure runs the fleet through the standard warmup → instrument →
+// measure sequence the single-server experiments use (warmup first, then
+// tracers and power snapshots attached, then the measured window) and
+// returns the fleet-wide measurement. Call it once per fleet.
+func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
+	f.Run(warmup)
+
+	n := len(f.members)
+	tracers := make([]*trace.Tracer, n)
+	snaps := make([]power.Snapshot, n)
+	res0 := make([]sim.Duration, n)
+	ent0 := make([]uint64, n)
+	served0 := make([]uint64, n)
+	for i, m := range f.members {
+		tracers[i] = trace.New(f.eng, m.sys.Cores)
+		snaps[i] = m.sys.Meter.Snapshot()
+		served0[i] = m.srv.Served()
+		if m.sys.APMU != nil {
+			res0[i] = m.sys.APMU.Residency(pmu.PC1A)
+			ent0[i] = m.sys.APMU.Entries(pmu.PC1A)
+		}
+	}
+	t0 := f.eng.Now()
+	f.Run(duration)
+	for _, tr := range tracers {
+		tr.Finalize()
+	}
+	window := f.eng.Now() - t0
+
+	var out Measurement
+	out.Generated = f.gen.Generated()
+	out.Window = window
+	for i, m := range f.members {
+		out.ServedWindow += m.srv.Served() - served0[i]
+	}
+	merged := stats.NewLatencyHistogram()
+	haveAPMU := false
+	pc1aRes := 0.0
+	var pc1aEnt uint64
+	for i, m := range f.members {
+		tr := tracers[i]
+		ss := ServerStats{
+			Index:           i,
+			Routed:          m.routed,
+			Served:          m.srv.Served(),
+			Dropped:         m.dropped,
+			MeanLatency:     m.srv.Latencies().Mean(),
+			P99Latency:      m.srv.Latencies().Quantile(0.99),
+			SoCWatts:        snaps[i].AveragePower(power.Package),
+			DRAMWatts:       snaps[i].AveragePower(power.DRAM),
+			TotalWatts:      snaps[i].AverageTotal(),
+			CC0Residency:    tr.MeanResidency(cpu.CC0),
+			CC1Residency:    tr.MeanResidency(cpu.CC1),
+			AllIdle:         tr.AllIdleFraction(),
+			AllIdleCensored: tr.CensoredAllIdleFraction(),
+		}
+		if m.sys.APMU != nil {
+			r := 0.0
+			if window > 0 {
+				r = float64(m.sys.APMU.Residency(pmu.PC1A)-res0[i]) / float64(window)
+			}
+			e := m.sys.APMU.Entries(pmu.PC1A) - ent0[i]
+			ss.PC1AResidency, ss.PC1AEntries = &r, &e
+			haveAPMU = true
+			pc1aRes += r
+			pc1aEnt += e
+		}
+		out.Servers = append(out.Servers, ss)
+		out.Served += ss.Served
+		out.Dropped += ss.Dropped
+		out.SoCWatts += ss.SoCWatts
+		out.DRAMWatts += ss.DRAMWatts
+		out.TotalWatts += ss.TotalWatts
+		out.CC0Residency += ss.CC0Residency
+		out.CC1Residency += ss.CC1Residency
+		out.AllIdle += ss.AllIdle
+		out.AllIdleCensored += ss.AllIdleCensored
+		merged.Merge(m.srv.Latencies())
+	}
+	fn := float64(n)
+	out.CC0Residency /= fn
+	out.CC1Residency /= fn
+	out.AllIdle /= fn
+	out.AllIdleCensored /= fn
+	out.MeanLatency = merged.Mean()
+	out.P50Latency = merged.Quantile(0.50)
+	out.P99Latency = merged.Quantile(0.99)
+	out.P999Latency = merged.Quantile(0.999)
+	if haveAPMU {
+		pc1aRes /= fn
+		out.PC1AResidency, out.PC1AEntries = &pc1aRes, &pc1aEnt
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"agilepkgc/internal/server"
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/workload"
+)
+
+// uniformMembers builds an n-server fleet config of identical
+// default-calibration machines.
+func uniformMembers(n int, kind soc.ConfigKind) []MemberConfig {
+	members := make([]MemberConfig, n)
+	for i := range members {
+		members[i] = MemberConfig{SoC: soc.DefaultConfig(kind), Server: server.DefaultConfig()}
+	}
+	return members
+}
+
+func TestPolicyParseRoundTrip(t *testing.T) {
+	for _, p := range []Policy{RoundRobin, LeastLoaded, PowerAware} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("weighted"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	spec := workload.Memcached(10000)
+	cases := []struct {
+		name string
+		cfg  Config
+		spec workload.Spec
+	}{
+		{"no members", Config{Policy: RoundRobin}, spec},
+		{"power_aware without target", Config{Policy: PowerAware, Members: uniformMembers(2, soc.CPC1A)}, spec},
+		{"bogus policy", Config{Policy: Policy(99), Members: uniformMembers(2, soc.CPC1A)}, spec},
+		{"closed-loop spec", Config{Policy: RoundRobin, Members: uniformMembers(2, soc.CPC1A)}, workload.Spec{}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg, c.spec, 1); err == nil {
+			t.Errorf("%s: New accepted an invalid config", c.name)
+		}
+	}
+}
+
+func TestRoundRobinEvenSpread(t *testing.T) {
+	fl, err := New(Config{Policy: RoundRobin, Members: uniformMembers(4, soc.CPC1A)},
+		workload.Memcached(40000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fl.Measure(5*sim.Millisecond, 50*sim.Millisecond)
+	if m.Generated == 0 || m.Served == 0 {
+		t.Fatalf("no traffic: %+v", m)
+	}
+	var min, max uint64 = ^uint64(0), 0
+	for _, ss := range m.Servers {
+		if ss.Routed < min {
+			min = ss.Routed
+		}
+		if ss.Routed > max {
+			max = ss.Routed
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("round_robin spread uneven: min %d max %d", min, max)
+	}
+}
+
+func TestLeastLoadedUsesAllServers(t *testing.T) {
+	fl, err := New(Config{Policy: LeastLoaded, Members: uniformMembers(4, soc.CPC1A)},
+		workload.Memcached(40000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fl.Measure(5*sim.Millisecond, 50*sim.Millisecond)
+	for _, ss := range m.Servers {
+		if ss.Routed == 0 {
+			t.Errorf("least_loaded starved server %d", ss.Index)
+		}
+	}
+}
+
+// TestPowerAwarePacks is the policy's reason to exist: at light aggregate
+// load it concentrates traffic on the low-indexed servers so the
+// high-indexed ones idle into deep package C-states.
+func TestPowerAwarePacks(t *testing.T) {
+	fl, err := New(Config{
+		Policy:    PowerAware,
+		P99Target: 300 * sim.Microsecond,
+		Members:   uniformMembers(4, soc.CPC1A),
+	}, workload.Memcached(40000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fl.Measure(5*sim.Millisecond, 50*sim.Millisecond)
+	first, last := m.Servers[0], m.Servers[3]
+	if first.Routed <= 10*last.Routed {
+		t.Errorf("power_aware did not pack: server0 routed %d, server3 routed %d",
+			first.Routed, last.Routed)
+	}
+	if last.AllIdle <= first.AllIdle {
+		t.Errorf("drained server not idler than packed one: server0 all-idle %.3f, server3 %.3f",
+			first.AllIdle, last.AllIdle)
+	}
+	if first.PC1AResidency == nil || last.PC1AResidency == nil {
+		t.Fatal("CPC1A members missing PC1A stats")
+	}
+	if *last.PC1AResidency <= *first.PC1AResidency {
+		t.Errorf("drained server should sit deeper in PC1A: server0 %.3f, server3 %.3f",
+			*first.PC1AResidency, *last.PC1AResidency)
+	}
+}
+
+// TestFleetDeterminism is the cluster half of the repo's determinism
+// contract: same seed, same fleet, bit-identical measurement — for every
+// policy.
+func TestFleetDeterminism(t *testing.T) {
+	for _, pol := range []Policy{RoundRobin, LeastLoaded, PowerAware} {
+		run := func() Measurement {
+			fl, err := New(Config{
+				Policy:    pol,
+				P99Target: 300 * sim.Microsecond,
+				Members:   uniformMembers(3, soc.CPC1A),
+			}, workload.MemcachedBursty(30000, 4), 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fl.Measure(5*sim.Millisecond, 30*sim.Millisecond)
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: repeated runs differ:\n%+v\n%+v", pol, a, b)
+		}
+	}
+}
+
+// TestDroppedSaturatedServer drives a heterogeneous fleet where
+// round_robin keeps feeding a server that cannot keep up (its per-server
+// kernel overhead makes every request take ~1s of core time). The
+// backlog cannot clear within server.DrainCap, so the fleet's Dropped
+// leak counter must surface those requests — concentrated on the slow
+// server — and the fleet-wide accounting must still balance.
+func TestDroppedSaturatedServer(t *testing.T) {
+	slow := server.DefaultConfig()
+	slow.KernelOverhead = sim.Second
+	members := uniformMembers(2, soc.CPC1A)
+	members[1].Server = slow
+
+	fl, err := New(Config{Policy: RoundRobin, Members: members},
+		workload.Memcached(10000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Run(100 * sim.Millisecond)
+
+	if fl.Dropped() == 0 {
+		t.Fatal("saturated server dropped nothing")
+	}
+	var served, dropped uint64
+	healthyDropped := uint64(0)
+	for i, m := range fl.members {
+		served += m.srv.Served()
+		dropped += m.dropped
+		if i == 0 {
+			healthyDropped = m.dropped
+		}
+	}
+	if healthyDropped != 0 {
+		t.Errorf("healthy server dropped %d requests", healthyDropped)
+	}
+	if got := fl.Generated(); got != served+dropped {
+		t.Errorf("request accounting leaks: generated %d != served %d + dropped %d",
+			got, served, dropped)
+	}
+	if dropped != fl.Dropped() {
+		t.Errorf("Dropped() = %d, per-member sum %d", fl.Dropped(), dropped)
+	}
+}
+
+// TestPowerAwareCapDerivation pins the cap formula's shape: more slack
+// admits more in-flight requests, and the cap never drops below 1.
+func TestPowerAwareCapDerivation(t *testing.T) {
+	mc := MemberConfig{SoC: soc.DefaultConfig(soc.CPC1A), Server: server.DefaultConfig()}
+	spec := workload.Memcached(10000)
+	tight := powerAwareCap(mc, spec, 150*sim.Microsecond)
+	loose := powerAwareCap(mc, spec, sim.Millisecond)
+	if tight < 1 {
+		t.Errorf("cap below 1: %d", tight)
+	}
+	if loose <= tight {
+		t.Errorf("more latency slack should admit more load: tight %d, loose %d", tight, loose)
+	}
+	if c := powerAwareCap(mc, spec, sim.Nanosecond); c != mc.SoC.CoreCount {
+		// An unreachable target leaves no queueing slack: one request
+		// per core.
+		t.Errorf("no-slack cap = %d, want %d", c, mc.SoC.CoreCount)
+	}
+}

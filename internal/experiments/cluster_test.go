@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"agilepkgc/internal/cluster"
+)
+
+func TestClusterScalingShape(t *testing.T) {
+	opt := QuickOptions()
+	opt.Duration /= 2
+	res, err := ClusterScaling(opt, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 { // 2 sizes × {round_robin, power_aware}
+		t.Fatalf("want 4 points, got %d", len(res.Points))
+	}
+	// The two 1-server points must agree exactly: with one member every
+	// policy routes identically, so any divergence is nondeterminism.
+	rr1, pa1 := res.Points[0], res.Points[1]
+	if rr1.Servers != 1 || pa1.Servers != 1 {
+		t.Fatalf("unexpected point order: %+v", res.Points)
+	}
+	if rr1.Fleet.Served != pa1.Fleet.Served || rr1.Fleet.TotalWatts != pa1.Fleet.TotalWatts {
+		t.Errorf("1-server fleets diverge across policies: %+v vs %+v", rr1.Fleet, pa1.Fleet)
+	}
+	// Fixed aggregate load on more servers must cost more fleet power
+	// (each added chassis burns idle watts) — the energy-proportionality
+	// deficit the experiment exists to show.
+	rr2 := res.Points[2]
+	if rr2.Fleet.TotalWatts <= rr1.Fleet.TotalWatts {
+		t.Errorf("2-server fleet cheaper than 1-server at same load: %g <= %g",
+			rr2.Fleet.TotalWatts, rr1.Fleet.TotalWatts)
+	}
+
+	if _, err := ClusterScaling(opt, nil); err == nil {
+		t.Error("empty size list accepted")
+	}
+	if _, err := ClusterScaling(opt, []int{0}); err == nil {
+		t.Error("zero fleet size accepted")
+	}
+}
+
+func TestClusterPolicyShape(t *testing.T) {
+	opt := QuickOptions()
+	opt.Duration /= 2
+	res, err := ClusterPolicy(opt, DefaultClusterPolicies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("want 3 points, got %d", len(res.Points))
+	}
+	for i, pol := range DefaultClusterPolicies {
+		if res.Points[i].Policy != pol.String() {
+			t.Errorf("point %d policy %q, want %q", i, res.Points[i].Policy, pol)
+		}
+		if len(res.Points[i].Fleet.Servers) != DefaultClusterPolicyServers {
+			t.Errorf("point %d missing per-server stats", i)
+		}
+	}
+	if _, err := ClusterPolicy(opt, nil); err == nil {
+		t.Error("empty policy list accepted")
+	}
+}
+
+// TestClusterExperimentsSerialParallelBitIdentical locks the fleet
+// experiments into the repo-wide determinism contract. This is the test
+// that catches shared mutable workload state (an MMPP2 arrival process
+// reused across concurrently-running points): serial and parallel runs
+// must render identical bytes.
+func TestClusterExperimentsSerialParallelBitIdentical(t *testing.T) {
+	opt := QuickOptions()
+	opt.Duration /= 2
+	serial, parallel := opt, opt
+	serial.Parallelism = 1
+	parallel.Parallelism = 8
+
+	sp, err := ClusterPolicy(serial, DefaultClusterPolicies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := ClusterPolicy(parallel, DefaultClusterPolicies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Report() != pp.Report() {
+		t.Errorf("cluster-policy depends on parallelism:\nserial:\n%s\nparallel:\n%s",
+			sp.Report(), pp.Report())
+	}
+
+	ss, err := ClusterScaling(serial, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := ClusterScaling(parallel, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Report() != ps.Report() {
+		t.Error("cluster-scaling depends on parallelism")
+	}
+}
+
+// failAfter fails every write after the first n succeed.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}
+
+type writeCounter struct{ writes int }
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.writes++
+	return len(p), nil
+}
+
+// TestClusterCSVPropagatesWriterErrors fails the writer at every prefix
+// of the fleet CSV (header, aggregate rows, per-server rows): each
+// failure must propagate, not truncate silently.
+func TestClusterCSVPropagatesWriterErrors(t *testing.T) {
+	opt := QuickOptions()
+	opt.Duration /= 10
+	res, err := ClusterPolicy(opt, []cluster.Policy{cluster.RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok strings.Builder
+	if err := res.WriteCSV(&ok); err != nil {
+		t.Fatal(err)
+	}
+	cw := &writeCounter{}
+	if err := res.WriteCSV(cw); err != nil {
+		t.Fatal(err)
+	}
+	if cw.writes < 2+DefaultClusterPolicyServers { // header + aggregate + per-server rows
+		t.Fatalf("expected at least %d writes, got %d", 2+DefaultClusterPolicyServers, cw.writes)
+	}
+	sentinel := errors.New("disk full")
+	for n := 0; n < cw.writes; n++ {
+		if err := res.WriteCSV(&failAfter{n: n, err: sentinel}); !errors.Is(err, sentinel) {
+			t.Errorf("failure after %d writes was swallowed: got %v", n, err)
+		}
+	}
+}

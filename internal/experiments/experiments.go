@@ -5,19 +5,37 @@
 // prints the same rows/series the paper shows, side by side with the
 // paper's published numbers.
 //
+// # The registry contract
+//
+// Every artifact self-registers at init time, in the same file as the
+// code that computes it, via Register or Define under an integer
+// ordinal. Ordinals only fix the canonical order (`apcsim run all`,
+// `apcsim list`, the golden-report file); gaps are fine and duplicates
+// — of a name or an ordinal — panic at init. Nothing outside this
+// package keeps a name list: the CLI, the docs and the tests all
+// enumerate All()/Names(). Each Result must render a Report, marshal
+// cleanly with encoding/json (the CLI's -json envelope), and may
+// implement CSVWriter for its data series. Results are pure functions
+// of Options: same Options, same bytes, at any Parallelism.
+//
 // Index (see DESIGN.md §3 for the full mapping):
 //
-//	Table1   — power and latency per package C-state
-//	Table2   — state-availability matrix
-//	Sec54    — component power deltas (Pcores, PIOs, Pdram, PPLLs)
-//	Sec55    — PC1A vs PC6 transition latency
-//	Eq1      — analytic power-savings model
-//	Fig5     — Memcached latency, Cshallow vs Cdeep
-//	Fig6     — PC1A opportunity (residencies, idle-period distribution)
-//	Fig7     — PC1A power savings and performance impact
-//	Fig8     — MySQL residency and power reduction
-//	Fig9     — Kafka residency and power reduction
-//	Area     — hardware cost model (Sec. 5.1–5.3)
+//	Table1         — power and latency per package C-state
+//	Table2         — state-availability matrix
+//	Sec54          — component power deltas (Pcores, PIOs, Pdram, PPLLs)
+//	Sec55          — PC1A vs PC6 transition latency
+//	Eq1            — analytic power-savings model
+//	Fig5           — Memcached latency, Cshallow vs Cdeep
+//	Fig6           — PC1A opportunity (residencies, idle-period distribution)
+//	Fig7           — PC1A power savings and performance impact
+//	Fig8           — MySQL residency and power reduction
+//	Fig9           — Kafka residency and power reduction
+//	Area           — hardware cost model (Sec. 5.1–5.3)
+//	Sensitivity    — technique ablations, PLL policy, APMU clock, FIVR slew
+//	Batching       — epoch-aligned dispatch extension (Sec. 8)
+//	Remote         — PC1A erosion under peer-socket UPI traffic
+//	ClusterScaling — fleet watts/latency vs size at fixed aggregate QPS
+//	ClusterPolicy  — routing policies head-to-head on a bursty fleet
 package experiments
 
 import (

@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failWriter fails every write after the first n succeed — a stand-in
+// for a full disk or closed pipe at an arbitrary point in the stream.
+type failWriter struct {
+	n   int
+	err error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestWriteCSVPropagatesWriterErrors drives WriteCSV into a writer that
+// fails at the header and at each data row: every failure point must
+// surface the writer's error, never a silent short file.
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	sc := Scenario{
+		Name:     "errprop",
+		Config:   "CPC1A",
+		Workload: Workload{Service: "memcached", QPS: 10000},
+		Sweep:    &Sweep{Axis: AxisQPS, Values: []float64{5000, 10000}},
+	}
+	res, err := sc.Run(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Count how many writes a clean run performs, then fail at every
+	// prefix length.
+	var ok strings.Builder
+	if err := res.WriteCSV(&ok); err != nil {
+		t.Fatal(err)
+	}
+	cw := &countingWriter{}
+	if err := res.WriteCSV(cw); err != nil {
+		t.Fatal(err)
+	}
+	total := cw.writes
+	if total < 3 { // header + 2 sweep rows
+		t.Fatalf("expected at least 3 writes, got %d", total)
+	}
+	sentinel := errors.New("disk full")
+	for n := 0; n < total; n++ {
+		if err := res.WriteCSV(&failWriter{n: n, err: sentinel}); !errors.Is(err, sentinel) {
+			t.Errorf("failure after %d writes was swallowed: got %v", n, err)
+		}
+	}
+}
+
+type countingWriter struct{ writes int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return len(p), nil
+}

@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleScenariosParse locks the shipped example files to the
+// schema: every examples/scenarios/*.json must load and validate, so a
+// schema change that orphans the documented examples fails `make ci`
+// instead of a reader.
+func TestExampleScenariosParse(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guards against the directory silently moving: the repo ships at
+	// least the tick-rate, batching, and two cluster files.
+	if len(files) < 4 {
+		t.Fatalf("expected at least 4 example scenario files, found %d: %v", len(files), files)
+	}
+	seen := map[string]string{}
+	for _, f := range files {
+		scs, err := LoadFile(f)
+		if err != nil {
+			t.Errorf("%s does not parse: %v", f, err)
+			continue
+		}
+		if len(scs) == 0 {
+			t.Errorf("%s holds no scenarios", f)
+		}
+		for _, sc := range scs {
+			if prev, dup := seen[sc.Name]; dup {
+				t.Errorf("scenario name %q appears in both %s and %s", sc.Name, prev, f)
+			}
+			seen[sc.Name] = f
+			if sc.Description == "" {
+				t.Errorf("%s: scenario %q ships without a description", f, sc.Name)
+			}
+		}
+	}
+}

@@ -3,8 +3,10 @@ package scenario
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
+	"agilepkgc/internal/cluster"
 	"agilepkgc/internal/cpu"
 	"agilepkgc/internal/experiments"
 	"agilepkgc/internal/pmu"
@@ -19,8 +21,12 @@ import (
 // Point is the measured outcome of one scenario operating point.
 type Point struct {
 	// Axis is the sweep-axis value this point was evaluated at (0 for
-	// unswept scenarios).
+	// unswept scenarios; the value's index for the string-valued policy
+	// axis).
 	Axis float64 `json:"axis"`
+	// AxisLabel names the axis value on string-valued axes ("policy");
+	// empty on numeric axes.
+	AxisLabel string `json:"axis_label,omitempty"`
 	// Workload names the effective request stream.
 	Workload string `json:"workload"`
 
@@ -47,9 +53,17 @@ type Point struct {
 
 	// PC1A statistics. Nil on configurations without an APMU (Cshallow,
 	// Cdeep), so JSON consumers can distinguish "not applicable" from a
-	// genuine zero measurement.
+	// genuine zero measurement. For fleets these are the mean residency
+	// over servers and the summed entries.
 	PC1AResidency *float64 `json:"pc1a_residency,omitempty"`
 	PC1AEntries   *uint64  `json:"pc1a_entries,omitempty"`
+
+	// Servers is the per-server breakdown for fleets of more than one
+	// server. It stays empty for single-machine scenarios AND for
+	// 1-server fleets — a 1-server fleet is byte-for-byte the single
+	// machine (the parity contract), so its aggregate row already is the
+	// server.
+	Servers []cluster.ServerStats `json:"servers,omitempty"`
 }
 
 // Result is a completed scenario run: the spec that produced it plus one
@@ -78,44 +92,161 @@ func (s Scenario) Run(opt experiments.Options) (*Result, error) {
 	values := []float64{0}
 	swept := false
 	if s.Sweep != nil {
-		axis, values, swept = s.Sweep.Axis, s.Sweep.Values, true
+		axis, swept = s.Sweep.Axis, true
+		if axis == AxisPolicy {
+			// String-valued axis: the point values are indices into the
+			// policy list; at() resolves them back to names.
+			values = make([]float64, len(s.Sweep.Policies))
+			for i := range values {
+				values[i] = float64(i)
+			}
+		} else {
+			values = s.Sweep.Values
+		}
 	}
 
 	// Resolve every point up front so a bad axis value fails before any
 	// simulation runs.
 	type job struct {
-		axis float64
-		sc   Scenario
+		axis  float64
+		label string
+		sc    Scenario
 	}
 	jobs := make([]job, len(values))
 	for i, v := range values {
 		pt := s
+		label := ""
 		if swept {
 			pt = s.at(axis, v)
+			if axis == AxisPolicy {
+				label = s.Sweep.Policies[i]
+			}
 		}
 		kind, err := soc.ParseConfigKind(pt.Config)
 		if err != nil {
 			return nil, err
 		}
-		cores := soc.DefaultConfig(kind).CoreCount
-		if _, _, err := pt.Workload.spec(cores); err != nil {
+		pointErr := func(err error) error {
 			if swept {
-				return nil, fmt.Errorf("scenario %q [%s=%g]: %w", s.Name, axis, v, err)
+				return fmt.Errorf("scenario %q [%s=%g]: %w", s.Name, axis, v, err)
 			}
-			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
-		if pt.Server.TimerTickHz != nil && *pt.Server.TimerTickHz > 0 &&
+		cores := soc.DefaultConfig(kind).CoreCount
+		if pt.Cluster != nil {
+			cores *= pt.Cluster.Servers
+		}
+		if _, _, err := pt.Workload.spec(cores); err != nil {
+			return nil, pointErr(err)
+		}
+		if pt.Cluster != nil {
+			if err := pt.validateClusterPoint(kind); err != nil {
+				return nil, pointErr(err)
+			}
+		} else if pt.Server.TimerTickHz != nil && *pt.Server.TimerTickHz > 0 &&
 			(pt.Server.TickKernelUS == nil || *pt.Server.TickKernelUS <= 0) {
-			return nil, fmt.Errorf("scenario %q: timer_tick_hz needs tick_kernel_us > 0", s.Name)
+			return nil, pointErr(fmt.Errorf("timer_tick_hz needs tick_kernel_us > 0"))
 		}
-		jobs[i] = job{axis: v, sc: pt}
+		jobs[i] = job{axis: v, label: label, sc: pt}
 	}
 
 	res := &Result{Scenario: s, Axis: axis}
 	res.Points = experiments.Sweep(opt, jobs, func(j job) Point {
+		if j.sc.Cluster != nil {
+			return runClusterOne(j.sc, j.axis, j.label, opt)
+		}
 		return runOne(j.sc, j.axis, opt)
 	})
 	return res, nil
+}
+
+// validateClusterPoint checks the parts of a cluster scenario that only
+// exist once the sweep value is applied: the fleet size, that every
+// per-server override targets a server that exists, and that each
+// member's merged configuration is coherent.
+func (s *Scenario) validateClusterPoint(kind soc.ConfigKind) error {
+	n := s.Cluster.Servers
+	if n < 1 {
+		return fmt.Errorf("cluster.servers must be at least 1")
+	}
+	for key := range s.Cluster.ServerOverrides {
+		if idx, _ := strconv.Atoi(key); idx >= n {
+			return fmt.Errorf("cluster.server_overrides[%s]: fleet has only %d servers", key, n)
+		}
+	}
+	for i, mc := range s.clusterMembers(kind, 0) {
+		if mc.Server.TimerTickHz > 0 && mc.Server.TickKernelTime <= 0 {
+			return fmt.Errorf("server %d: timer_tick_hz needs tick_kernel_us > 0", i)
+		}
+	}
+	return nil
+}
+
+// clusterMembers builds the per-server configurations of an applied
+// cluster point: evaluation defaults, then the scenario-level Server
+// overrides, then that server's entry in cluster.server_overrides.
+func (s *Scenario) clusterMembers(kind soc.ConfigKind, seed uint64) []cluster.MemberConfig {
+	base := server.DefaultConfig()
+	base.Seed = seed
+	s.Server.apply(&base)
+	members := make([]cluster.MemberConfig, s.Cluster.Servers)
+	for i := range members {
+		scfg := base
+		if ov, ok := s.Cluster.ServerOverrides[strconv.Itoa(i)]; ok {
+			ov.apply(&scfg)
+		}
+		members[i] = cluster.MemberConfig{SoC: soc.DefaultConfig(kind), Server: scfg}
+	}
+	return members
+}
+
+// runClusterOne wires one fully-applied cluster point: N systems and
+// servers on one shared engine behind the balancer, measured through the
+// same warmup/window sequence as runOne. With one server and
+// round_robin, the assembled fleet is event-for-event the runOne wiring,
+// so the resulting Point is bit-identical (TestClusterSingleServerParity
+// locks this).
+func runClusterOne(sc Scenario, axisValue float64, axisLabel string, opt experiments.Options) Point {
+	kind, _ := soc.ParseConfigKind(sc.Config)
+	pol, _ := cluster.ParsePolicy(sc.Cluster.Policy)
+	spec, _, _ := sc.Workload.spec(sc.Cluster.Servers * soc.DefaultConfig(kind).CoreCount)
+	fl, err := cluster.New(cluster.Config{
+		Policy:    pol,
+		P99Target: sim.Duration(sc.Cluster.P99TargetUS * float64(sim.Microsecond)),
+		Members:   sc.clusterMembers(kind, opt.Seed),
+	}, spec, opt.Seed)
+	if err != nil {
+		// Unreachable after Validate + validateClusterPoint; a panic here
+		// is a missing validation rule, not a user error.
+		panic(fmt.Sprintf("scenario %q: %v", sc.Name, err))
+	}
+	m := fl.Measure(opt.Warmup(), opt.Duration)
+
+	p := Point{
+		Axis:            axisValue,
+		AxisLabel:       axisLabel,
+		Workload:        spec.Name,
+		OfferedQPS:      spec.MeanQPS(),
+		Served:          m.Served,
+		Generated:       m.Generated,
+		Dropped:         m.Dropped,
+		MeanLatency:     m.MeanLatency,
+		P50Latency:      m.P50Latency,
+		P99Latency:      m.P99Latency,
+		SoCWatts:        m.SoCWatts,
+		DRAMWatts:       m.DRAMWatts,
+		TotalWatts:      m.TotalWatts,
+		CC0Residency:    m.CC0Residency,
+		CC1Residency:    m.CC1Residency,
+		AllIdle:         m.AllIdle,
+		AllIdleCensored: m.AllIdleCensored,
+		PC1AResidency:   m.PC1AResidency,
+		PC1AEntries:     m.PC1AEntries,
+	}
+	if sc.Cluster.Servers > 1 {
+		p.Servers = m.Servers
+	}
+	return p
 }
 
 // runOne wires one fully-applied scenario point onto a fresh system —
@@ -195,10 +326,29 @@ func runOne(sc Scenario, axisValue float64, opt experiments.Options) Point {
 	return p
 }
 
+// clusterAnnotated reports whether the rendered report should mention
+// the fleet. A 1-server fleet with a fixed policy renders exactly like
+// the single machine it is — the parity contract — so only genuinely
+// multi-server (or cluster-swept) scenarios get the annotation and the
+// per-server breakdown.
+func (r *Result) clusterAnnotated() bool {
+	c := r.Scenario.Cluster
+	return c != nil && (c.Servers > 1 || clusterAxes[r.Axis])
+}
+
 // Report implements experiments.Result.
 func (r *Result) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scenario %s: %s on %s", r.Scenario.Name, r.Scenario.Workload.Service, r.Scenario.Config)
+	if r.clusterAnnotated() {
+		if r.Axis == AxisServers {
+			fmt.Fprintf(&b, ", fleet (%s)", r.Scenario.Cluster.Policy)
+		} else if r.Axis == AxisPolicy {
+			fmt.Fprintf(&b, ", %d-server fleet", r.Scenario.Cluster.Servers)
+		} else {
+			fmt.Fprintf(&b, ", %d-server fleet (%s)", r.Scenario.Cluster.Servers, r.Scenario.Cluster.Policy)
+		}
+	}
 	if r.Axis != "" {
 		fmt.Fprintf(&b, ", sweeping %s", r.Axis)
 	}
@@ -219,7 +369,7 @@ func (r *Result) Report() string {
 			pc1a = fmt.Sprintf("%.1f%%", *p.PC1AResidency*100)
 		}
 		rows = append(rows, []string{
-			fmt.Sprintf("%g", p.Axis),
+			p.axisCell(),
 			p.Workload,
 			fmt.Sprintf("%d", p.Served),
 			fmt.Sprintf("%.1fus", p.MeanLatency*1e6),
@@ -233,12 +383,55 @@ func (r *Result) Report() string {
 		})
 	}
 	b.WriteString(experiments.RenderTable(header, rows))
+
+	// Per-server breakdowns, one block per multi-server point — the
+	// fleet story (which servers soaked the load, which ones idled into
+	// PC1A) lives here, not in the aggregate row.
+	for _, p := range r.Points {
+		if len(p.Servers) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nper-server [%s=%s]:\n", axisHdr, p.axisCell())
+		srows := make([][]string, 0, len(p.Servers))
+		for _, ss := range p.Servers {
+			pc1a := "-"
+			if ss.PC1AResidency != nil {
+				pc1a = fmt.Sprintf("%.1f%%", *ss.PC1AResidency*100)
+			}
+			srows = append(srows, []string{
+				fmt.Sprintf("%d", ss.Index),
+				fmt.Sprintf("%d", ss.Routed),
+				fmt.Sprintf("%d", ss.Served),
+				fmt.Sprintf("%.1fus", ss.MeanLatency*1e6),
+				fmt.Sprintf("%.1fus", ss.P99Latency*1e6),
+				fmt.Sprintf("%.1fW", ss.TotalWatts),
+				fmt.Sprintf("%.1f%%", ss.AllIdle*100),
+				pc1a,
+				fmt.Sprintf("%d", ss.Dropped),
+			})
+		}
+		b.WriteString(experiments.RenderTable(
+			[]string{"server", "routed", "served", "mean", "p99", "total", "all-idle", "PC1A res", "dropped"},
+			srows))
+	}
 	return b.String()
 }
 
-// WriteCSV implements experiments.CSVWriter.
+// axisCell renders the sweep-axis value for report tables: the label on
+// string-valued axes, the number otherwise.
+func (p Point) axisCell() string {
+	if p.AxisLabel != "" {
+		return p.AxisLabel
+	}
+	return fmt.Sprintf("%g", p.Axis)
+}
+
+// WriteCSV implements experiments.CSVWriter. Rows are fleet aggregates
+// (identical in shape to single-machine rows — the parity contract);
+// per-server series are in the -json output, not duplicated here. The
+// axis_label column is empty except on the string-valued policy axis.
 func (r *Result) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "axis,workload,offered_qps,served,generated,dropped,mean_s,p50_s,p99_s,soc_w,dram_w,total_w,cc0,cc1,all_idle,all_idle_censored,pc1a_residency,pc1a_entries"); err != nil {
+	if _, err := fmt.Fprintln(w, "axis,axis_label,workload,offered_qps,served,generated,dropped,mean_s,p50_s,p99_s,soc_w,dram_w,total_w,cc0,cc1,all_idle,all_idle_censored,pc1a_residency,pc1a_entries"); err != nil {
 		return err
 	}
 	for _, p := range r.Points {
@@ -250,8 +443,8 @@ func (r *Result) WriteCSV(w io.Writer) error {
 		if p.PC1AEntries != nil {
 			pc1aEnt = fmt.Sprintf("%d", *p.PC1AEntries)
 		}
-		if _, err := fmt.Fprintf(w, "%g,%s,%g,%d,%d,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%s,%s\n",
-			p.Axis, p.Workload, p.OfferedQPS, p.Served, p.Generated, p.Dropped,
+		if _, err := fmt.Fprintf(w, "%g,%s,%s,%g,%d,%d,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%s,%s\n",
+			p.Axis, p.AxisLabel, p.Workload, p.OfferedQPS, p.Served, p.Generated, p.Dropped,
 			p.MeanLatency, p.P50Latency, p.P99Latency,
 			p.SoCWatts, p.DRAMWatts, p.TotalWatts,
 			p.CC0Residency, p.CC1Residency, p.AllIdle, p.AllIdleCensored,

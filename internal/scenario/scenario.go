@@ -1,10 +1,11 @@
 // Package scenario is the declarative layer over the simulator: a
 // Scenario names a SoC configuration, a workload, a set of server-config
-// overrides and an optional sweep axis, and Run wires them together the
-// same way the built-in experiments do. Scenarios load from JSON (with
-// unknown fields rejected) or are built programmatically, so a new
-// operating point — a different QPS axis, tick rate, batching epoch or
-// network latency — is data, not a new Go file.
+// overrides, an optional cluster block and an optional sweep axis, and
+// Run wires them together the same way the built-in experiments do.
+// Scenarios load from JSON (with unknown fields rejected) or are built
+// programmatically, so a new operating point — a different QPS axis,
+// tick rate, batching epoch, network latency or fleet shape — is data,
+// not a new Go file.
 //
 // A minimal file:
 //
@@ -15,6 +16,22 @@
 //	  "server": {"tick_kernel_us": 2},
 //	  "sweep": {"axis": "tick_hz", "values": [0, 100, 250, 1000]}
 //	}
+//
+// Adding a cluster block turns the scenario into a fleet experiment: N
+// servers behind a load balancer on one shared engine (see package
+// cluster), with the workload rates read as fleet-aggregate values:
+//
+//	{
+//	  "name": "pack-vs-spread",
+//	  "config": "CPC1A",
+//	  "workload": {"service": "memcached", "qps": 80000},
+//	  "cluster": {"servers": 4, "p99_target_us": 300},
+//	  "sweep": {"axis": "policy",
+//	            "policies": ["round_robin", "least_loaded", "power_aware"]}
+//	}
+//
+// The full field reference for the JSON schema is in README.md
+// ("Scenario schema reference").
 package scenario
 
 import (
@@ -24,7 +41,9 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 
+	"agilepkgc/internal/cluster"
 	"agilepkgc/internal/experiments"
 	"agilepkgc/internal/server"
 	"agilepkgc/internal/sim"
@@ -49,11 +68,38 @@ type Scenario struct {
 	// Workload selects the request stream.
 	Workload Workload `json:"workload"`
 	// Server overrides individual server.Config knobs; unset fields keep
-	// the evaluation defaults.
+	// the evaluation defaults. With a cluster block these are the base
+	// configuration of every server, refined per server by
+	// Cluster.ServerOverrides.
 	Server Overrides `json:"server,omitempty"`
+	// Cluster, when present, runs the scenario as a fleet behind a load
+	// balancer instead of a single machine. Workload rates (qps, util,
+	// load) are then fleet-aggregate values.
+	Cluster *Cluster `json:"cluster,omitempty"`
 	// Sweep, when present, evaluates the scenario once per axis value
 	// instead of once.
 	Sweep *Sweep `json:"sweep,omitempty"`
+}
+
+// Cluster declares the fleet shape: how many servers sit behind the load
+// balancer and how it routes. See package cluster for the policy
+// semantics.
+type Cluster struct {
+	// Servers is the fleet size. It may be 0 only when the sweep axis is
+	// "servers" (the sweep then drives it).
+	Servers int `json:"servers"`
+	// Policy is "round_robin", "least_loaded" or "power_aware". It may
+	// be empty only when the sweep axis is "policy".
+	Policy string `json:"policy"`
+	// P99TargetUS is the latency budget (µs) the power_aware policy
+	// packs against; required whenever power_aware is the policy or
+	// among the swept policies.
+	P99TargetUS float64 `json:"p99_target_us,omitempty"`
+	// ServerOverrides refines individual servers on top of the
+	// scenario-level Server overrides, keyed by decimal server index
+	// ("0" … "N-1") — a heterogeneous fleet (one slow machine, one
+	// ticky kernel) stays one JSON file.
+	ServerOverrides map[string]Overrides `json:"server_overrides,omitempty"`
 }
 
 // Workload declares the request stream. Exactly one rate field applies
@@ -135,8 +181,11 @@ func (o Overrides) apply(cfg *server.Config) {
 type Sweep struct {
 	// Axis names the swept parameter.
 	Axis string `json:"axis"`
-	// Values are the axis points, evaluated in order.
-	Values []float64 `json:"values"`
+	// Values are the axis points, evaluated in order (numeric axes).
+	Values []float64 `json:"values,omitempty"`
+	// Policies are the axis points of the string-valued "policy" axis,
+	// evaluated in order; exactly one of Values and Policies applies.
+	Policies []string `json:"policies,omitempty"`
 }
 
 // Axis names a Sweep can drive.
@@ -149,17 +198,24 @@ const (
 	AxisBatchEpochUS   = "batch_epoch_us"
 	AxisTickHz         = "tick_hz"
 	AxisNetworkLatency = "network_latency_us"
+	AxisServers        = "servers"
+	AxisPolicy         = "policy"
 )
 
 var knownAxes = map[string]bool{
 	AxisQPS: true, AxisUtil: true, AxisLoad: true, AxisBurstiness: true,
 	AxisThreads: true, AxisBatchEpochUS: true, AxisTickHz: true,
-	AxisNetworkLatency: true,
+	AxisNetworkLatency: true, AxisServers: true, AxisPolicy: true,
 }
 
 // serverAxes drive server.Config knobs and apply to every service.
 var serverAxes = map[string]bool{
 	AxisBatchEpochUS: true, AxisTickHz: true, AxisNetworkLatency: true,
+}
+
+// clusterAxes drive the cluster block and require one.
+var clusterAxes = map[string]bool{
+	AxisServers: true, AxisPolicy: true,
 }
 
 // workloadAxes lists which workload-side axes each service actually
@@ -183,7 +239,10 @@ func Axes() []string {
 	return out
 }
 
-// at returns a copy of the scenario with one axis value applied.
+// at returns a copy of the scenario with one axis value applied. For the
+// string-valued policy axis, v is an index into Sweep.Policies. The
+// cluster block is cloned before mutation so applied points never alias
+// the original scenario's block.
 func (s Scenario) at(axis string, v float64) Scenario {
 	switch axis {
 	case AxisQPS:
@@ -202,6 +261,14 @@ func (s Scenario) at(axis string, v float64) Scenario {
 		s.Server.TimerTickHz = &v
 	case AxisNetworkLatency:
 		s.Server.NetworkLatencyUS = &v
+	case AxisServers:
+		c := *s.Cluster
+		c.Servers = int(v)
+		s.Cluster = &c
+	case AxisPolicy:
+		c := *s.Cluster
+		c.Policy = s.Sweep.Policies[int(v)]
+		s.Cluster = &c
 	}
 	return s
 }
@@ -229,27 +296,108 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario %q: unknown sweep axis %q (want one of %v)",
 				s.Name, s.Sweep.Axis, Axes())
 		}
-		if !serverAxes[s.Sweep.Axis] && !workloadAxes[s.Workload.Service][s.Sweep.Axis] {
+		if clusterAxes[s.Sweep.Axis] && s.Cluster == nil {
+			return fmt.Errorf("scenario %q: sweep axis %q needs a cluster block", s.Name, s.Sweep.Axis)
+		}
+		if !serverAxes[s.Sweep.Axis] && !clusterAxes[s.Sweep.Axis] &&
+			!workloadAxes[s.Workload.Service][s.Sweep.Axis] {
 			return fmt.Errorf("scenario %q: service %q ignores sweep axis %q — every point would be identical",
 				s.Name, s.Workload.Service, s.Sweep.Axis)
 		}
-		if len(s.Sweep.Values) == 0 {
-			return fmt.Errorf("scenario %q: sweep has no values", s.Name)
+		if s.Sweep.Axis == AxisPolicy {
+			if len(s.Sweep.Values) > 0 {
+				return fmt.Errorf("scenario %q: the policy axis takes sweep.policies, not sweep.values", s.Name)
+			}
+			if len(s.Sweep.Policies) == 0 {
+				return fmt.Errorf("scenario %q: sweep has no policies", s.Name)
+			}
+			for _, p := range s.Sweep.Policies {
+				if _, err := cluster.ParsePolicy(p); err != nil {
+					return fmt.Errorf("scenario %q: %w", s.Name, err)
+				}
+			}
+		} else {
+			if len(s.Sweep.Policies) > 0 {
+				return fmt.Errorf("scenario %q: sweep.policies only applies to the %q axis", s.Name, AxisPolicy)
+			}
+			if len(s.Sweep.Values) == 0 {
+				return fmt.Errorf("scenario %q: sweep has no values", s.Name)
+			}
 		}
 		for _, v := range s.Sweep.Values {
 			if v < 0 {
 				return fmt.Errorf("scenario %q: negative %s value %g", s.Name, s.Sweep.Axis, v)
 			}
-			if s.Sweep.Axis == AxisThreads && v != float64(int(v)) {
-				return fmt.Errorf("scenario %q: threads value %g is not an integer", s.Name, v)
+			if (s.Sweep.Axis == AxisThreads || s.Sweep.Axis == AxisServers) && v != float64(int(v)) {
+				return fmt.Errorf("scenario %q: %s value %g is not an integer", s.Name, s.Sweep.Axis, v)
+			}
+			if s.Sweep.Axis == AxisServers && v < 1 {
+				return fmt.Errorf("scenario %q: servers value %g is below 1", s.Name, v)
 			}
 		}
+	}
+	if err := s.validateCluster(); err != nil {
+		return err
 	}
 	if s.DurationMS < 0 {
 		return fmt.Errorf("scenario %q: negative duration_ms", s.Name)
 	}
 	if err := s.Server.validate(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return nil
+}
+
+// validateCluster checks the cluster block's axis-independent parts.
+// Fields a sweep drives (servers, policy) are only required when no
+// sweep supplies them; per-point checks (override indices vs the applied
+// fleet size) happen when the points are built.
+func (s *Scenario) validateCluster() error {
+	c := s.Cluster
+	if c == nil {
+		return nil
+	}
+	sweepAxis := ""
+	if s.Sweep != nil {
+		sweepAxis = s.Sweep.Axis
+	}
+	if s.Workload.Service == "sysbench" {
+		return fmt.Errorf("scenario %q: cluster needs an open-loop service — closed-loop sysbench clients bind to one machine and bypass the balancer", s.Name)
+	}
+	if c.Servers < 1 && sweepAxis != AxisServers {
+		return fmt.Errorf("scenario %q: cluster.servers must be at least 1", s.Name)
+	}
+	powerAware := false
+	if sweepAxis == AxisPolicy {
+		if c.Policy != "" {
+			return fmt.Errorf("scenario %q: cluster.policy %q conflicts with the policy sweep — leave it empty", s.Name, c.Policy)
+		}
+		for _, p := range s.Sweep.Policies {
+			if p == cluster.PowerAware.String() {
+				powerAware = true
+			}
+		}
+	} else {
+		pol, err := cluster.ParsePolicy(c.Policy)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		powerAware = pol == cluster.PowerAware
+	}
+	if c.P99TargetUS < 0 {
+		return fmt.Errorf("scenario %q: negative cluster.p99_target_us", s.Name)
+	}
+	if powerAware && c.P99TargetUS <= 0 {
+		return fmt.Errorf("scenario %q: power_aware needs cluster.p99_target_us > 0", s.Name)
+	}
+	for key, ov := range c.ServerOverrides {
+		idx, err := strconv.Atoi(key)
+		if err != nil || idx < 0 {
+			return fmt.Errorf("scenario %q: cluster.server_overrides key %q is not a server index", s.Name, key)
+		}
+		if err := ov.validate(); err != nil {
+			return fmt.Errorf("scenario %q: server_overrides[%s]: %w", s.Name, key, err)
+		}
 	}
 	return nil
 }

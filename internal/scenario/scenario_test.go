@@ -262,7 +262,7 @@ func TestResultArtifacts(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
-	if len(lines) != 2 || !strings.HasPrefix(lines[0], "axis,workload") {
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "axis,axis_label,workload") {
 		t.Errorf("csv shape wrong: %q", sb.String())
 	}
 	data, err := json.Marshal(res)

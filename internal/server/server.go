@@ -121,16 +121,17 @@ func (s *Server) armTicks() {
 	}
 }
 
-// drainCap bounds how much extra virtual time Run spends draining
+// DrainCap bounds how much extra virtual time Run spends draining
 // stragglers after the generator stops. It exists only to bound
 // pathological runs (a backlog that cannot clear); anything still in
 // flight when it trips is surfaced via Dropped instead of silently
-// abandoned.
-const drainCap = 10 * sim.Second
+// abandoned. Exported because the cluster layer's fleet drain must use
+// the same bound for its 1-server-fleet ≡ single-server parity contract.
+const DrainCap = 10 * sim.Second
 
 // Run generates load for the given duration of virtual time and then
 // drains: the engine runs until every in-flight request completes, up to
-// drainCap of extra virtual time. Requests still in flight when the cap
+// DrainCap of extra virtual time. Requests still in flight when the cap
 // trips are counted in Dropped. On a closed-loop server (no generator)
 // Run only advances time — clients issue continuously, so "drained"
 // is meaningless until the caller stops them; call Run again after
@@ -147,7 +148,7 @@ func (s *Server) Run(d sim.Duration) {
 	}
 	// Drain stragglers: the generator is stopped, so inFlight can only
 	// fall.
-	deadline := eng.Now() + drainCap
+	deadline := eng.Now() + DrainCap
 	for s.inFlight > 0 && eng.Now() < deadline {
 		eng.Run(eng.Now() + sim.Millisecond)
 	}
@@ -158,7 +159,7 @@ func (s *Server) Run(d sim.Duration) {
 }
 
 // Dropped reports requests that were still in flight when the most
-// recent Run call gave up draining (the drainCap tripped) — the requests
+// recent Run call gave up draining (the DrainCap tripped) — the requests
 // older code silently lost. A non-zero value means latency and
 // throughput figures exclude these requests. Always 0 on closed-loop
 // servers, which do not drain.
@@ -166,6 +167,11 @@ func (s *Server) Dropped() uint64 { return s.dropped }
 
 // Latencies returns the client-observed latency histogram (seconds).
 func (s *Server) Latencies() *stats.Histogram { return s.lat }
+
+// InFlight returns the number of requests currently inside the machine
+// (submitted but not yet responded). Load-balancing policies and drain
+// loops read it.
+func (s *Server) InFlight() int { return s.inFlight }
 
 // Served returns the number of completed requests.
 func (s *Server) Served() uint64 { return s.served }

@@ -223,7 +223,7 @@ func TestRunSurfacesDroppedRequests(t *testing.T) {
 	spec := workload.Spec{
 		Name:        "stuck",
 		Arrivals:    stats.Poisson{RateV: 10000},
-		Service:     stats.Deterministic{V: 2 * drainCap.Seconds()}, // can never finish draining
+		Service:     stats.Deterministic{V: 2 * DrainCap.Seconds()}, // can never finish draining
 		Connections: 10,
 		MemAccesses: 1,
 	}

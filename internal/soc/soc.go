@@ -153,12 +153,23 @@ type System struct {
 	rrNext int // round-robin cursor for MC interleaving
 }
 
-// New assembles a system from the configuration.
+// New assembles a system from the configuration on a fresh engine of its
+// own — the single-machine case every experiment uses.
 func New(cfg Config) *System {
+	return NewOnEngine(cfg, sim.NewEngine())
+}
+
+// NewOnEngine assembles a system onto an existing engine. Multiple
+// systems may share one engine — that is how package cluster simulates a
+// fleet under a single deterministic event order — and each keeps its
+// own power meter and channel namespace, so per-server accounting never
+// collides. Construction order is the only coupling between co-hosted
+// systems: any events scheduled while assembling (none today) would
+// interleave in construction order.
+func NewOnEngine(cfg Config, eng *sim.Engine) *System {
 	if cfg.CoreCount <= 0 {
 		panic("soc: CoreCount must be positive")
 	}
-	eng := sim.NewEngine()
 	meter := power.NewMeter(eng)
 	s := &System{Cfg: cfg, Engine: eng, Meter: meter}
 
