@@ -35,7 +35,9 @@
 //	                      NIC DMA, kernel overhead, core dispatch,
 //	                      client-observed latency
 //	internal/cluster      fleets: N servers on one shared engine behind
-//	                      a load balancer with power-aware routing
+//	                      a load balancer with power-aware and
+//	                      rack-affinity routing over a multi-rack
+//	                      topology (ToR hops, per-rack power zones)
 //	internal/trace        C-state residency tracing, idle-period stats,
 //	                      VCD dump
 //	internal/stats        histograms, P² quantiles, distributions, RNG

@@ -11,21 +11,42 @@
 // produced by one workload.Generator seeded from the caller's seed, and
 // a routing policy assigns each arrival to a member:
 //
-//	round_robin  — arrival i goes to server i mod N.
-//	least_loaded — fewest in-flight requests; ties break to the lowest
-//	               server index (deterministic).
-//	power_aware  — pack onto the lowest-indexed server whose in-flight
-//	               count is below a per-server cap derived from the p99
-//	               latency target, so high-indexed servers stay idle and
-//	               sink into deep package C-states. When every server is
-//	               at its cap the policy degrades to least_loaded rather
-//	               than queueing at the balancer.
+//	round_robin      — arrival i goes to server i mod N.
+//	least_loaded     — fewest in-flight requests; ties break to the
+//	                   lowest server index (deterministic).
+//	power_aware      — pack onto the lowest-indexed server whose
+//	                   in-flight count is below a per-server cap derived
+//	                   from the p99 latency target, so high-indexed
+//	                   servers stay idle and sink into deep package
+//	                   C-states. When every server is at its cap the
+//	                   policy degrades to least_loaded rather than
+//	                   queueing at the balancer.
+//	rack_affinity    — pack onto the fewest racks, then the fewest
+//	                   servers within the chosen rack, with each server's
+//	                   natural capacity (one in-flight request per core)
+//	                   as the bin size; all ties break by index.
+//	rack_power_aware — power_aware's derived in-flight cap applied
+//	                   rack-first: stay on already-active racks while any
+//	                   of their servers has cap headroom, and only then
+//	                   wake a new rack.
+//
+// Fleets are optionally shaped into a Topology of racks: rack 0 hosts
+// the balancer, and every request routed into another rack pays a
+// configurable top-of-rack hop (Config.TorLatency) in each direction —
+// the inbound hop as a scheduled transit event on the shared engine, the
+// return hop folded into the member's recorded network round trip. A
+// flat topology (one rack, zero ToR latency) schedules no extra events,
+// so it reproduces the rackless fleet byte for byte (the scenario
+// layer's TestRackFlatParity locks this).
 //
 // Each member keeps its own power meter; fleet power is the sum of the
-// per-server meters' energy integrals over the measured window. A
-// 1-server round_robin fleet is, by construction, byte-for-byte the
-// single-server simulation (the scenario layer's parity test enforces
-// this), which pins the cluster layer as a strict generalization.
+// per-server meters' energy integrals over the measured window, and each
+// rack additionally aggregates its members into a rack-zone integral
+// (RackStats) — the pool/zone granularity production power tooling
+// manages. A 1-server round_robin fleet is, by construction, byte-for-
+// byte the single-server simulation (the scenario layer's parity test
+// enforces this), which pins the cluster layer as a strict
+// generalization.
 package cluster
 
 import (
@@ -55,6 +76,13 @@ const (
 	// PowerAware packs arrivals onto the fewest servers that keep p99
 	// latency under Config.P99Target, leaving the rest idle.
 	PowerAware
+	// RackAffinity packs arrivals onto the fewest racks, then the fewest
+	// servers, using one-in-flight-per-core as each server's capacity.
+	RackAffinity
+	// RackPowerAware applies PowerAware's derived in-flight cap
+	// rack-first: already-active racks absorb load before a new rack
+	// wakes.
+	RackPowerAware
 )
 
 // String returns the policy's scenario-file spelling.
@@ -66,6 +94,10 @@ func (p Policy) String() string {
 		return "least_loaded"
 	case PowerAware:
 		return "power_aware"
+	case RackAffinity:
+		return "rack_affinity"
+	case RackPowerAware:
+		return "rack_power_aware"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -80,6 +112,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return LeastLoaded, nil
 	case "power_aware":
 		return PowerAware, nil
+	case "rack_affinity":
+		return RackAffinity, nil
+	case "rack_power_aware":
+		return RackPowerAware, nil
 	default:
 		return 0, fmt.Errorf("cluster: unknown policy %q (want one of %v)", s, PolicyNames())
 	}
@@ -87,9 +123,51 @@ func ParsePolicy(s string) (Policy, error) {
 
 // PolicyNames returns the supported policy spellings, sorted.
 func PolicyNames() []string {
-	names := []string{RoundRobin.String(), LeastLoaded.String(), PowerAware.String()}
+	names := []string{
+		RoundRobin.String(), LeastLoaded.String(), PowerAware.String(),
+		RackAffinity.String(), RackPowerAware.String(),
+	}
 	sort.Strings(names)
 	return names
+}
+
+// Topology shapes the fleet into racks: Racks × ServersPerRack members,
+// rack r holding the contiguous server-index block
+// [r·ServersPerRack, (r+1)·ServersPerRack). Rack 0 is the local rack —
+// the balancer hangs off its top-of-rack switch — so only traffic into
+// racks 1..Racks-1 pays Config.TorLatency. The zero value means a flat
+// fleet: one rack holding every member.
+type Topology struct {
+	Racks          int `json:"racks"`
+	ServersPerRack int `json:"servers_per_rack"`
+}
+
+// Flat returns the single-rack topology holding n servers.
+func Flat(n int) Topology { return Topology{Racks: 1, ServersPerRack: n} }
+
+// Servers returns the member count the topology shapes.
+func (t Topology) Servers() int { return t.Racks * t.ServersPerRack }
+
+// RackOf returns the rack index holding the given server index.
+func (t Topology) RackOf(server int) int { return server / t.ServersPerRack }
+
+// IsFlat reports whether the topology has a single rack (no ToR hops,
+// no rack-zone accounting).
+func (t Topology) IsFlat() bool { return t.Racks <= 1 }
+
+// String renders the topology as "racks×servers-per-rack".
+func (t Topology) String() string { return fmt.Sprintf("%dx%d", t.Racks, t.ServersPerRack) }
+
+// validate checks the topology against the fleet size.
+func (t Topology) validate(members int) error {
+	if t.Racks < 1 || t.ServersPerRack < 1 {
+		return fmt.Errorf("cluster: topology %s needs at least 1 rack and 1 server per rack", t)
+	}
+	if t.Servers() != members {
+		return fmt.Errorf("cluster: topology %s shapes %d servers but the fleet has %d members",
+			t, t.Servers(), members)
+	}
+	return nil
 }
 
 // MemberConfig configures one server of the fleet.
@@ -105,22 +183,34 @@ type MemberConfig struct {
 type Config struct {
 	// Policy is the routing policy.
 	Policy Policy
-	// P99Target is the latency budget the power_aware policy packs
-	// against; required (> 0) for PowerAware, ignored otherwise.
+	// P99Target is the latency budget the power_aware and
+	// rack_power_aware policies pack against; required (> 0) for those
+	// policies, ignored otherwise.
 	P99Target sim.Duration
+	// Topology shapes the members into racks. The zero value means flat:
+	// one rack holding every member.
+	Topology Topology
+	// TorLatency is the one-way top-of-rack hop paid per direction by
+	// requests routed into a rack other than rack 0 (where the balancer
+	// sits). Inert on flat topologies, which have no non-local rack.
+	TorLatency sim.Duration
 	// Members configures each server; the slice index is the server id
 	// routing policies and reports use.
 	Members []MemberConfig
 }
 
 // member is one server plus the balancer's bookkeeping for it. Policy
-// decisions read the server's own in-flight counter (srv.InFlight());
-// the balancer adds only what the server cannot know: how many arrivals
-// were assigned to it and how many it leaked at drain time.
+// decisions read the server's own in-flight counter plus the balancer's
+// ToR-transit count (requests routed but not yet delivered); the
+// balancer adds only what the server cannot know: its rack, how many
+// arrivals were assigned to it and how many it leaked at drain time.
 type member struct {
 	sys     *soc.System
 	srv     *server.Server
-	cap     int // power_aware in-flight cap
+	rack    int          // topology rack index
+	tor     sim.Duration // one-way ToR hop (0 on the local rack)
+	cap     int          // packing cap (policy-dependent; see capFor)
+	transit int          // routed, still riding the ToR hop
 	routed  uint64
 	dropped uint64
 }
@@ -129,10 +219,12 @@ type member struct {
 type Fleet struct {
 	eng  *sim.Engine
 	cfg  Config
+	topo Topology
 	spec workload.Spec
 	gen  *workload.Generator
 
 	members []*member
+	byRack  [][]*member
 	rr      int
 }
 
@@ -146,10 +238,10 @@ func New(cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
 		return nil, fmt.Errorf("cluster: fleet needs at least one member")
 	}
 	switch cfg.Policy {
-	case RoundRobin, LeastLoaded:
-	case PowerAware:
+	case RoundRobin, LeastLoaded, RackAffinity:
+	case PowerAware, RackPowerAware:
 		if cfg.P99Target <= 0 {
-			return nil, fmt.Errorf("cluster: power_aware needs P99Target > 0")
+			return nil, fmt.Errorf("cluster: %v needs P99Target > 0", cfg.Policy)
 		}
 	default:
 		return nil, fmt.Errorf("cluster: unknown policy %v", cfg.Policy)
@@ -157,27 +249,69 @@ func New(cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
 	if spec.Arrivals == nil {
 		return nil, fmt.Errorf("cluster: open-loop workload required (spec has no arrival process)")
 	}
+	topo := cfg.Topology
+	if topo == (Topology{}) {
+		topo = Flat(len(cfg.Members))
+	}
+	if err := topo.validate(len(cfg.Members)); err != nil {
+		return nil, err
+	}
+	if cfg.TorLatency < 0 {
+		return nil, fmt.Errorf("cluster: negative TorLatency")
+	}
 
 	eng := sim.NewEngine()
-	f := &Fleet{eng: eng, cfg: cfg, spec: spec}
-	for _, mc := range cfg.Members {
-		m := &member{
-			sys: soc.NewOnEngine(mc.SoC, eng),
-			cap: powerAwareCap(mc, spec, cfg.P99Target),
+	f := &Fleet{eng: eng, cfg: cfg, topo: topo, spec: spec}
+	f.byRack = make([][]*member, topo.Racks)
+	for i, mc := range cfg.Members {
+		rack := topo.RackOf(i)
+		var tor sim.Duration
+		if rack != 0 {
+			tor = cfg.TorLatency
 		}
-		m.srv = server.NewClosedLoop(m.sys, mc.Server)
+		// The return hop rides the member's recorded network round trip
+		// (the client sees the response one ToR hop later); the inbound
+		// hop is a scheduled transit event in route. With tor == 0 both
+		// vanish, which is what keeps flat fleets byte-identical to the
+		// rackless wiring.
+		eff := mc
+		eff.Server.NetworkLatency += tor
+		m := &member{
+			rack: rack,
+			tor:  tor,
+			cap:  capFor(cfg.Policy, mc, spec, cfg.P99Target, 2*tor),
+		}
+		m.sys = soc.NewOnEngine(eff.SoC, eng)
+		m.srv = server.NewClosedLoop(m.sys, eff.Server)
 		f.members = append(f.members, m)
+		f.byRack[rack] = append(f.byRack[rack], m)
 	}
 	f.gen = workload.NewGenerator(eng, spec, seed, f.route)
 	return f, nil
 }
 
+// capFor derives the per-server packing cap each policy bins against.
+// rack_affinity uses the server's natural capacity — one in-flight
+// request per core — since it has no latency budget to spend; the
+// power-aware policies use the p99-derived cap with the rack round trip
+// (torRTT, both ToR hops) added to the latency floor, so remote racks
+// get proportionally less queueing headroom.
+func capFor(pol Policy, mc MemberConfig, spec workload.Spec, target sim.Duration, torRTT sim.Duration) int {
+	if pol == RackAffinity {
+		if mc.SoC.CoreCount < 1 {
+			return 1
+		}
+		return mc.SoC.CoreCount
+	}
+	return powerAwareCap(mc, spec, target, torRTT)
+}
+
 // powerAwareCap derives the per-server in-flight cap the power_aware
-// policy packs against. A request's latency floor is network RTT + both
-// NIC transfers + kernel + mean service time; each in-flight request
-// beyond one-per-core adds roughly meanCoreTime/cores of queueing delay.
-// The cap spends the slack between the floor and the p99 target on
-// queueing:
+// policies pack against. A request's latency floor is network RTT + both
+// NIC transfers + kernel + mean service time (+ the rack round trip for
+// non-local racks); each in-flight request beyond one-per-core adds
+// roughly meanCoreTime/cores of queueing delay. The cap spends the slack
+// between the floor and the p99 target on queueing:
 //
 //	cap = cores + (target − floor) / (meanCoreTime / cores)
 //
@@ -185,7 +319,7 @@ func New(cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
 // derivation uses only configuration and workload means, so it is a
 // deterministic function of the inputs — no online estimation, no
 // feedback loops that could order events differently across runs.
-func powerAwareCap(mc MemberConfig, spec workload.Spec, target sim.Duration) int {
+func powerAwareCap(mc MemberConfig, spec workload.Spec, target sim.Duration, torRTT sim.Duration) int {
 	cores := mc.SoC.CoreCount
 	if cores <= 0 || target <= 0 {
 		return 1
@@ -193,7 +327,7 @@ func powerAwareCap(mc MemberConfig, spec workload.Spec, target sim.Duration) int
 	meanService := sim.Duration(spec.Service.Mean() * float64(sim.Second))
 	meanCoreTime := meanService + mc.Server.KernelOverhead
 	floor := mc.Server.NetworkLatency + 2*mc.Server.NICTransfer +
-		mc.Server.KernelOverhead + meanService
+		mc.Server.KernelOverhead + meanService + torRTT
 	cap := cores
 	if slack := target - floor; slack > 0 && meanCoreTime > 0 {
 		cap += int(slack * sim.Duration(cores) / meanCoreTime)
@@ -204,14 +338,30 @@ func powerAwareCap(mc MemberConfig, spec workload.Spec, target sim.Duration) int
 	return cap
 }
 
-// route assigns one arrival to a member according to the policy.
+// load is the balancer's view of a member's occupancy: requests inside
+// the machine plus requests still riding the ToR hop toward it. Without
+// the transit term a remote rack would look idle for a whole hop after
+// every assignment and the balancer would dogpile it.
+func (f *Fleet) load(m *member) int { return m.srv.InFlight() + m.transit }
+
+// route assigns one arrival to a member according to the policy and
+// delivers it — immediately for local-rack members, one ToR hop later
+// for remote racks.
 func (f *Fleet) route(req *workload.Request) {
 	m := f.pick()
 	m.routed++
+	if m.tor > 0 {
+		m.transit++
+		f.eng.Schedule(m.tor, func() {
+			m.transit--
+			m.srv.Submit(req, nil)
+		})
+		return
+	}
 	m.srv.Submit(req, nil)
 }
 
-// pick implements the three routing policies. All tie-breaks are by
+// pick implements the routing policies. All tie-breaks are by rack then
 // server index, so routing is a deterministic function of the servers'
 // in-flight state.
 func (f *Fleet) pick() *member {
@@ -220,7 +370,7 @@ func (f *Fleet) pick() *member {
 		return f.leastLoaded()
 	case PowerAware:
 		for _, m := range f.members {
-			if m.srv.InFlight() < m.cap {
+			if f.load(m) < m.cap {
 				return m
 			}
 		}
@@ -228,6 +378,8 @@ func (f *Fleet) pick() *member {
 		// holdable at this load, so degrade to least_loaded instead of
 		// queueing arrivals at the balancer.
 		return f.leastLoaded()
+	case RackAffinity, RackPowerAware:
+		return f.rackPick()
 	default: // RoundRobin
 		m := f.members[f.rr%len(f.members)]
 		f.rr++
@@ -235,12 +387,58 @@ func (f *Fleet) pick() *member {
 	}
 }
 
-// leastLoaded returns the member with the fewest in-flight requests,
-// lowest index on ties.
+// rackPick packs rack-first: among racks with cap headroom, an active
+// rack (any member busy or in transit) beats waking a new one, and the
+// lowest index wins ties; within the chosen rack an already-active
+// server below its cap beats waking an idle one, again lowest index
+// first. When no rack has headroom the latency target is not holdable,
+// so the policy degrades to least_loaded like power_aware does.
+func (f *Fleet) rackPick() *member {
+	chosen, chosenActive := -1, false
+	for r, rack := range f.byRack {
+		active, spare := false, false
+		for _, m := range rack {
+			if f.load(m) > 0 {
+				active = true
+			}
+			if f.load(m) < m.cap {
+				spare = true
+			}
+		}
+		if !spare {
+			continue
+		}
+		if chosen == -1 || (active && !chosenActive) {
+			chosen, chosenActive = r, active
+		}
+		if chosenActive {
+			break // lowest-indexed active rack with headroom is final
+		}
+	}
+	if chosen == -1 {
+		return f.leastLoaded()
+	}
+	var idle *member
+	for _, m := range f.byRack[chosen] {
+		if f.load(m) >= m.cap {
+			continue
+		}
+		if f.load(m) > 0 {
+			return m
+		}
+		if idle == nil {
+			idle = m
+		}
+	}
+	return idle
+}
+
+// leastLoaded returns the member with the fewest in-flight-or-in-transit
+// requests, lowest index on ties.
 func (f *Fleet) leastLoaded() *member {
 	best := f.members[0]
 	for _, m := range f.members[1:] {
-		if m.srv.InFlight() < best.srv.InFlight() {
+		if f.load(m) < f.load(best) {
 			best = m
 		}
 	}
@@ -252,6 +450,10 @@ func (f *Fleet) Engine() *sim.Engine { return f.eng }
 
 // Servers returns the fleet size.
 func (f *Fleet) Servers() int { return len(f.members) }
+
+// Topology returns the rack shape the fleet was assembled with (Flat(N)
+// when the configuration left it zero).
+func (f *Fleet) Topology() Topology { return f.topo }
 
 // Generated returns how many requests the aggregate generator emitted.
 func (f *Fleet) Generated() uint64 { return f.gen.Generated() }
@@ -267,11 +469,13 @@ func (f *Fleet) Dropped() uint64 {
 	return n
 }
 
-// inFlightTotal sums the servers' in-flight counters.
+// inFlightTotal sums the servers' in-flight counters plus requests still
+// riding a ToR hop, so the drain loop cannot declare the fleet empty
+// while a request is between the balancer and a remote rack.
 func (f *Fleet) inFlightTotal() int {
 	n := 0
 	for _, m := range f.members {
-		n += m.srv.InFlight()
+		n += f.load(m)
 	}
 	return n
 }
@@ -291,14 +495,16 @@ func (f *Fleet) Run(d sim.Duration) {
 		f.eng.Run(f.eng.Now() + sim.Millisecond)
 	}
 	for _, m := range f.members {
-		m.dropped = uint64(m.srv.InFlight())
+		m.dropped = uint64(f.load(m))
 	}
 }
 
 // ServerStats is the measured outcome of one fleet member.
 type ServerStats struct {
-	// Index is the server id (position in Config.Members).
+	// Index is the server id (position in Config.Members); Rack is the
+	// topology rack holding it (always 0 on flat fleets).
 	Index int `json:"index"`
+	Rack  int `json:"rack"`
 	// Routed counts arrivals the balancer assigned to this server.
 	Routed uint64 `json:"routed"`
 	// Served counts completed requests; Dropped counts requests still in
@@ -327,12 +533,44 @@ type ServerStats struct {
 	PC1AEntries   *uint64  `json:"pc1a_entries,omitempty"`
 }
 
+// RackStats aggregates one rack's members into the power-zone view:
+// counters and watts are sums over the rack (energy is additive, so the
+// watts are the rack-zone meter integral over the window), residencies
+// are unweighted means, and latency quantiles come from merging the
+// members' histograms.
+type RackStats struct {
+	// Index is the rack id; Local marks rack 0, whose top-of-rack switch
+	// the balancer hangs off (its members pay no ToR hop).
+	Index int  `json:"index"`
+	Local bool `json:"local"`
+	// Servers is the member count; ActiveServers counts members the
+	// balancer actually routed to — the packing footprint.
+	Servers       int `json:"servers"`
+	ActiveServers int `json:"active_servers"`
+
+	Routed  uint64 `json:"routed"`
+	Served  uint64 `json:"served"`
+	Dropped uint64 `json:"dropped"`
+
+	MeanLatency float64 `json:"mean_latency_s"`
+	P99Latency  float64 `json:"p99_latency_s"`
+
+	SoCWatts   float64 `json:"soc_w"`
+	DRAMWatts  float64 `json:"dram_w"`
+	TotalWatts float64 `json:"total_w"`
+
+	AllIdle float64 `json:"all_idle"`
+
+	PC1AResidency *float64 `json:"pc1a_residency,omitempty"`
+	PC1AEntries   *uint64  `json:"pc1a_entries,omitempty"`
+}
+
 // Measurement is the fleet-wide outcome of one measured window:
-// aggregates over all servers plus the per-server breakdown. Counters
-// are sums; watts are sums of per-server meter averages (energy is
-// additive); residencies are unweighted means (every member measures the
-// same window); latency quantiles come from the merged per-server
-// histograms.
+// aggregates over all servers plus the per-server breakdown (and the
+// per-rack breakdown on multi-rack topologies). Counters are sums; watts
+// are sums of per-server meter averages (energy is additive);
+// residencies are unweighted means (every member measures the same
+// window); latency quantiles come from the merged per-server histograms.
 type Measurement struct {
 	Served    uint64 `json:"served"`
 	Generated uint64 `json:"generated"`
@@ -366,6 +604,9 @@ type Measurement struct {
 	PC1AEntries   *uint64  `json:"pc1a_entries,omitempty"`
 
 	Servers []ServerStats `json:"servers"`
+	// Racks is the per-rack-zone breakdown; nil on flat topologies,
+	// where the fleet aggregate already is the only zone.
+	Racks []RackStats `json:"racks,omitempty"`
 }
 
 // Measure runs the fleet through the standard warmup → instrument →
@@ -411,6 +652,7 @@ func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
 		tr := tracers[i]
 		ss := ServerStats{
 			Index:           i,
+			Rack:            m.rack,
 			Routed:          m.routed,
 			Served:          m.srv.Served(),
 			Dropped:         m.dropped,
@@ -459,6 +701,53 @@ func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
 	if haveAPMU {
 		pc1aRes /= fn
 		out.PC1AResidency, out.PC1AEntries = &pc1aRes, &pc1aEnt
+	}
+	if !f.topo.IsFlat() {
+		out.Racks = f.rackStats(out.Servers)
+	}
+	return out
+}
+
+// rackStats folds the per-server stats into per-rack power zones.
+func (f *Fleet) rackStats(servers []ServerStats) []RackStats {
+	out := make([]RackStats, f.topo.Racks)
+	hists := make([]*stats.Histogram, f.topo.Racks)
+	for r := range out {
+		out[r] = RackStats{Index: r, Local: r == 0, Servers: len(f.byRack[r])}
+		hists[r] = stats.NewLatencyHistogram()
+	}
+	for i, ss := range servers {
+		rs := &out[ss.Rack]
+		if ss.Routed > 0 {
+			rs.ActiveServers++
+		}
+		rs.Routed += ss.Routed
+		rs.Served += ss.Served
+		rs.Dropped += ss.Dropped
+		rs.SoCWatts += ss.SoCWatts
+		rs.DRAMWatts += ss.DRAMWatts
+		rs.TotalWatts += ss.TotalWatts
+		rs.AllIdle += ss.AllIdle
+		if ss.PC1AResidency != nil {
+			if rs.PC1AResidency == nil {
+				rs.PC1AResidency = new(float64)
+				rs.PC1AEntries = new(uint64)
+			}
+			*rs.PC1AResidency += *ss.PC1AResidency
+			*rs.PC1AEntries += *ss.PC1AEntries
+		}
+		hists[ss.Rack].Merge(f.members[i].srv.Latencies())
+	}
+	for r := range out {
+		rs := &out[r]
+		if rs.Servers > 0 {
+			rs.AllIdle /= float64(rs.Servers)
+			if rs.PC1AResidency != nil {
+				*rs.PC1AResidency /= float64(rs.Servers)
+			}
+		}
+		rs.MeanLatency = hists[r].Mean()
+		rs.P99Latency = hists[r].Quantile(0.99)
 	}
 	return out
 }

@@ -21,7 +21,7 @@ func uniformMembers(n int, kind soc.ConfigKind) []MemberConfig {
 }
 
 func TestPolicyParseRoundTrip(t *testing.T) {
-	for _, p := range []Policy{RoundRobin, LeastLoaded, PowerAware} {
+	for _, p := range []Policy{RoundRobin, LeastLoaded, PowerAware, RackAffinity, RackPowerAware} {
 		got, err := ParsePolicy(p.String())
 		if err != nil || got != p {
 			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
@@ -41,8 +41,18 @@ func TestNewValidation(t *testing.T) {
 	}{
 		{"no members", Config{Policy: RoundRobin}, spec},
 		{"power_aware without target", Config{Policy: PowerAware, Members: uniformMembers(2, soc.CPC1A)}, spec},
+		{"rack_power_aware without target", Config{Policy: RackPowerAware, Members: uniformMembers(2, soc.CPC1A)}, spec},
 		{"bogus policy", Config{Policy: Policy(99), Members: uniformMembers(2, soc.CPC1A)}, spec},
 		{"closed-loop spec", Config{Policy: RoundRobin, Members: uniformMembers(2, soc.CPC1A)}, workload.Spec{}},
+		{"topology size mismatch", Config{
+			Policy: RoundRobin, Topology: Topology{Racks: 2, ServersPerRack: 3},
+			Members: uniformMembers(4, soc.CPC1A)}, spec},
+		{"zero servers per rack", Config{
+			Policy: RoundRobin, Topology: Topology{Racks: 2},
+			Members: uniformMembers(2, soc.CPC1A)}, spec},
+		{"negative ToR latency", Config{
+			Policy: RoundRobin, Topology: Topology{Racks: 2, ServersPerRack: 1},
+			TorLatency: -sim.Microsecond, Members: uniformMembers(2, soc.CPC1A)}, spec},
 	}
 	for _, c := range cases {
 		if _, err := New(c.cfg, c.spec, 1); err == nil {
@@ -124,12 +134,14 @@ func TestPowerAwarePacks(t *testing.T) {
 // contract: same seed, same fleet, bit-identical measurement — for every
 // policy.
 func TestFleetDeterminism(t *testing.T) {
-	for _, pol := range []Policy{RoundRobin, LeastLoaded, PowerAware} {
+	for _, pol := range []Policy{RoundRobin, LeastLoaded, PowerAware, RackAffinity, RackPowerAware} {
 		run := func() Measurement {
 			fl, err := New(Config{
-				Policy:    pol,
-				P99Target: 300 * sim.Microsecond,
-				Members:   uniformMembers(3, soc.CPC1A),
+				Policy:     pol,
+				P99Target:  300 * sim.Microsecond,
+				Topology:   Topology{Racks: 3, ServersPerRack: 1},
+				TorLatency: 5 * sim.Microsecond,
+				Members:    uniformMembers(3, soc.CPC1A),
 			}, workload.MemcachedBursty(30000, 4), 7)
 			if err != nil {
 				t.Fatal(err)
@@ -191,15 +203,20 @@ func TestDroppedSaturatedServer(t *testing.T) {
 func TestPowerAwareCapDerivation(t *testing.T) {
 	mc := MemberConfig{SoC: soc.DefaultConfig(soc.CPC1A), Server: server.DefaultConfig()}
 	spec := workload.Memcached(10000)
-	tight := powerAwareCap(mc, spec, 150*sim.Microsecond)
-	loose := powerAwareCap(mc, spec, sim.Millisecond)
+	tight := powerAwareCap(mc, spec, 150*sim.Microsecond, 0)
+	loose := powerAwareCap(mc, spec, sim.Millisecond, 0)
 	if tight < 1 {
 		t.Errorf("cap below 1: %d", tight)
 	}
 	if loose <= tight {
 		t.Errorf("more latency slack should admit more load: tight %d, loose %d", tight, loose)
 	}
-	if c := powerAwareCap(mc, spec, sim.Nanosecond); c != mc.SoC.CoreCount {
+	// A rack round trip eats into the same slack, so a remote member's
+	// cap can never exceed a local one's.
+	if remote := powerAwareCap(mc, spec, sim.Millisecond, 100*sim.Microsecond); remote > loose {
+		t.Errorf("ToR round trip should not widen the cap: local %d, remote %d", loose, remote)
+	}
+	if c := powerAwareCap(mc, spec, sim.Nanosecond, 0); c != mc.SoC.CoreCount {
 		// An unreachable target leaves no queueing slack: one request
 		// per core.
 		t.Errorf("no-slack cap = %d, want %d", c, mc.SoC.CoreCount)

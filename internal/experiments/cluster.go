@@ -15,9 +15,7 @@ import (
 	"strings"
 
 	"agilepkgc/internal/cluster"
-	"agilepkgc/internal/server"
 	"agilepkgc/internal/sim"
-	"agilepkgc/internal/soc"
 	"agilepkgc/internal/workload"
 )
 
@@ -67,44 +65,29 @@ type ClusterPoint struct {
 	Fleet   cluster.Measurement `json:"fleet"`
 }
 
-// runFleet builds and measures one fleet of n default CPC1A machines.
-// specFn builds the workload per call: arrival processes (MMPP2) carry
-// mutable phase state, so concurrently-running fleets must never share
-// one spec value — the same reason fig8/fig9 build their spec inside
-// the point function.
+// runFleet builds and measures one flat fleet of n default CPC1A
+// machines (rack.go's measureFleet with the trivial topology — an
+// explicit Flat(n) assembles the identical event sequence, which
+// TestFlatTopologyMatchesRackless pins).
 func runFleet(opt Options, n int, pol cluster.Policy, specFn func() workload.Spec) ClusterPoint {
-	members := make([]cluster.MemberConfig, n)
-	for i := range members {
-		scfg := server.DefaultConfig()
-		scfg.Seed = opt.Seed
-		members[i] = cluster.MemberConfig{SoC: soc.DefaultConfig(soc.CPC1A), Server: scfg}
-	}
-	fl, err := cluster.New(cluster.Config{
-		Policy:    pol,
-		P99Target: DefaultClusterP99Target,
-		Members:   members,
-	}, specFn(), opt.Seed)
-	if err != nil {
-		// All inputs are compile-time constants; an error is a bug.
-		panic(err)
-	}
 	return ClusterPoint{
 		Servers: n,
 		Policy:  pol.String(),
-		Fleet:   fl.Measure(opt.Warmup(), opt.Duration),
+		Fleet:   measureFleet(opt, cluster.Flat(n), pol, 0, specFn),
 	}
 }
 
-// wattsPerKQPS is the fleet efficiency metric both reports print: watts
-// burned per thousand served requests per second. Both factors cover
-// the same interval — the measured window including its drain tail —
-// so warmup traffic neither inflates the rate nor dilutes the watts.
-func wattsPerKQPS(p ClusterPoint) float64 {
-	if p.Fleet.ServedWindow == 0 || p.Fleet.Window <= 0 {
+// wattsPerKQPS is the fleet efficiency metric the cluster reports
+// print: watts burned per thousand served requests per second. Both
+// factors cover the same interval — the measured window including its
+// drain tail — so warmup traffic neither inflates the rate nor dilutes
+// the watts.
+func wattsPerKQPS(m cluster.Measurement) float64 {
+	if m.ServedWindow == 0 || m.Window <= 0 {
 		return 0
 	}
-	qps := float64(p.Fleet.ServedWindow) / p.Fleet.Window.Seconds()
-	return p.Fleet.TotalWatts / (qps / 1000)
+	qps := float64(m.ServedWindow) / m.Window.Seconds()
+	return m.TotalWatts / (qps / 1000)
 }
 
 // ClusterScalingResult is the cluster-scaling artifact.
@@ -163,7 +146,7 @@ func (r *ClusterScalingResult) Report() string {
 			fmt.Sprintf("%.1fus", p.Fleet.P99Latency*1e6),
 			fmt.Sprintf("%.1fus", p.Fleet.P999Latency*1e6),
 			fmt.Sprintf("%.1fW", p.Fleet.TotalWatts),
-			fmt.Sprintf("%.2f", wattsPerKQPS(p)),
+			fmt.Sprintf("%.2f", wattsPerKQPS(p.Fleet)),
 			pc1a,
 			fmt.Sprintf("%d", p.Fleet.Dropped),
 		)
@@ -235,7 +218,7 @@ func (r *ClusterPolicyResult) Report() string {
 			fmt.Sprintf("%.1fus", p.Fleet.P99Latency*1e6),
 			fmt.Sprintf("%.1fus", p.Fleet.P999Latency*1e6),
 			fmt.Sprintf("%.1fW", p.Fleet.TotalWatts),
-			fmt.Sprintf("%.2f", wattsPerKQPS(p)),
+			fmt.Sprintf("%.2f", wattsPerKQPS(p.Fleet)),
 			fmt.Sprintf("%d req", maxR),
 			fmt.Sprintf("%d req", minR),
 			pc1a,
@@ -251,6 +234,15 @@ func (r *ClusterPolicyResult) WriteCSV(w io.Writer) error {
 	return writeClusterCSV(w, r.Points)
 }
 
+// pc1aCell renders a PC1A residency for the CSV writers: empty on
+// configurations without an APMU.
+func pc1aCell(res *float64) string {
+	if res == nil {
+		return ""
+	}
+	return fmt.Sprintf("%g", *res)
+}
+
 // writeClusterCSV emits the shared fleet series: one aggregate row per
 // point followed by its per-server rows (server >= 0), so one file holds
 // both granularities.
@@ -258,17 +250,11 @@ func writeClusterCSV(w io.Writer, points []ClusterPoint) error {
 	if _, err := fmt.Fprintln(w, "servers,policy,server,routed,served,dropped,mean_s,p50_s,p99_s,p999_s,soc_w,dram_w,total_w,w_per_kqps,all_idle,pc1a_residency"); err != nil {
 		return err
 	}
-	pc1aCell := func(res *float64) string {
-		if res == nil {
-			return ""
-		}
-		return fmt.Sprintf("%g", *res)
-	}
 	for _, p := range points {
 		if _, err := fmt.Fprintf(w, "%d,%s,,%d,%d,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%s\n",
 			p.Servers, p.Policy, p.Fleet.Generated, p.Fleet.Served, p.Fleet.Dropped,
 			p.Fleet.MeanLatency, p.Fleet.P50Latency, p.Fleet.P99Latency, p.Fleet.P999Latency,
-			p.Fleet.SoCWatts, p.Fleet.DRAMWatts, p.Fleet.TotalWatts, wattsPerKQPS(p),
+			p.Fleet.SoCWatts, p.Fleet.DRAMWatts, p.Fleet.TotalWatts, wattsPerKQPS(p.Fleet),
 			p.Fleet.AllIdle, pc1aCell(p.Fleet.PC1AResidency)); err != nil {
 			return err
 		}

@@ -36,6 +36,7 @@
 //	Remote         — PC1A erosion under peer-socket UPI traffic
 //	ClusterScaling — fleet watts/latency vs size at fixed aggregate QPS
 //	ClusterPolicy  — routing policies head-to-head on a bursty fleet
+//	RackPacking    — rack_affinity vs power_aware across rack shapes
 package experiments
 
 import (

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"agilepkgc/internal/cluster"
+)
+
+func TestRackPackingShape(t *testing.T) {
+	opt := QuickOptions()
+	opt.Duration /= 2
+	res, err := RackPacking(opt, DefaultRackTopologies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(DefaultRackTopologies)*len(DefaultRackPolicies) {
+		t.Fatalf("want %d points, got %d", len(DefaultRackTopologies)*len(DefaultRackPolicies), len(res.Points))
+	}
+	for i, p := range res.Points {
+		topo := DefaultRackTopologies[i/len(DefaultRackPolicies)]
+		if p.Topology != topo.String() || p.Racks != topo.Racks {
+			t.Errorf("point %d: topology %s, want %s", i, p.Topology, topo)
+		}
+		if want := topo.Servers(); len(p.Fleet.Servers) != want {
+			t.Errorf("point %d: %d per-server stats, want %d", i, len(p.Fleet.Servers), want)
+		}
+		if topo.IsFlat() {
+			if len(p.Fleet.Racks) != 0 {
+				t.Errorf("point %d: flat shape grew %d rack zones", i, len(p.Fleet.Racks))
+			}
+		} else if len(p.Fleet.Racks) != topo.Racks {
+			t.Errorf("point %d: %d rack zones, want %d", i, len(p.Fleet.Racks), topo.Racks)
+		}
+	}
+	// The duel's reason to exist: on a racked shape, rack_affinity must
+	// hold tail latency below the flat packer, which queues bursts
+	// rack-deep on the local rack.
+	aff, pa := res.Points[0], res.Points[1]
+	if aff.Policy != cluster.RackAffinity.String() || pa.Policy != cluster.PowerAware.String() {
+		t.Fatalf("unexpected point order: %q %q", aff.Policy, pa.Policy)
+	}
+	if aff.Fleet.P99Latency >= pa.Fleet.P99Latency {
+		t.Errorf("rack_affinity p99 %.1fus not below power_aware's %.1fus",
+			aff.Fleet.P99Latency*1e6, pa.Fleet.P99Latency*1e6)
+	}
+
+	if _, err := RackPacking(opt, nil); err == nil {
+		t.Error("empty topology list accepted")
+	}
+	if _, err := RackPacking(opt, []cluster.Topology{{Racks: 0, ServersPerRack: 2}}); err == nil {
+		t.Error("non-positive topology accepted")
+	}
+}
+
+func TestRackPackingSerialParallelBitIdentical(t *testing.T) {
+	opt := QuickOptions()
+	opt.Duration /= 2
+	serial, parallel := opt, opt
+	serial.Parallelism = 1
+	parallel.Parallelism = 8
+	sr, err := RackPacking(serial, DefaultRackTopologies[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := RackPacking(parallel, DefaultRackTopologies[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Report() != pr.Report() {
+		t.Error("rack-packing depends on parallelism")
+	}
+}
+
+// TestRackPackingCSVPropagatesWriterErrors fails the writer at every
+// prefix of the rack CSV (header, aggregate rows, per-rack zone rows).
+func TestRackPackingCSVPropagatesWriterErrors(t *testing.T) {
+	opt := QuickOptions()
+	opt.Duration /= 10
+	res, err := RackPacking(opt, []cluster.Topology{{Racks: 2, ServersPerRack: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok strings.Builder
+	if err := res.WriteCSV(&ok); err != nil {
+		t.Fatal(err)
+	}
+	cw := &writeCounter{}
+	if err := res.WriteCSV(cw); err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + 2*(1+2); cw.writes < want { // header + 2 points × (aggregate + 2 racks)
+		t.Fatalf("expected at least %d writes, got %d", want, cw.writes)
+	}
+	sentinel := errors.New("disk full")
+	for n := 0; n < cw.writes; n++ {
+		if err := res.WriteCSV(&failAfter{n: n, err: sentinel}); !errors.Is(err, sentinel) {
+			t.Errorf("failure after %d writes was swallowed: got %v", n, err)
+		}
+	}
+}

@@ -12,7 +12,7 @@ func TestRegistryCanonicalOrder(t *testing.T) {
 		"table1", "table2", "sec54", "sec55", "eq1",
 		"fig5", "fig6", "fig7", "fig8", "fig9",
 		"area", "sensitivity", "batching", "remote",
-		"cluster-scaling", "cluster-policy",
+		"cluster-scaling", "cluster-policy", "rack-packing",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry order = %v, want %v", got, want)

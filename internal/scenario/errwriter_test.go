@@ -64,3 +64,31 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 	w.writes++
 	return len(p), nil
 }
+
+// TestWriteCSVPropagatesWriterErrorsRacks repeats the prefix-failure
+// drill on a multi-rack fleet result, whose CSV adds the rack-zone
+// table: the second header and every per-rack row are additional
+// failure points that must propagate too.
+func TestWriteCSVPropagatesWriterErrorsRacks(t *testing.T) {
+	sc := rackScenario()
+	sc.Sweep = &Sweep{Axis: AxisTorLatency, Values: []float64{0, 10}}
+	sc.Cluster.TorLatencyUS = 0
+	res, err := sc.Run(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := &countingWriter{}
+	if err := res.WriteCSV(cw); err != nil {
+		t.Fatal(err)
+	}
+	// 2 headers + 2 aggregate rows + 2 points × 2 racks.
+	if want := 8; cw.writes < want {
+		t.Fatalf("expected at least %d writes, got %d", want, cw.writes)
+	}
+	sentinel := errors.New("disk full")
+	for n := 0; n < cw.writes; n++ {
+		if err := res.WriteCSV(&failWriter{n: n, err: sentinel}); !errors.Is(err, sentinel) {
+			t.Errorf("failure after %d writes was swallowed: got %v", n, err)
+		}
+	}
+}

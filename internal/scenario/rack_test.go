@@ -1,0 +1,242 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRackFlatParity is the tentpole acceptance criterion: a 1-rack,
+// zero-ToR-latency fleet must render byte-identical report and CSV
+// output to the same fleet with no rack fields at all (the PR 3 flat
+// fleet), for every pre-rack policy — the rack layer is a strict
+// generalization, not a rewrite. The two runs take different assembly
+// paths: "racks": 1 builds an explicit Flat(N) cluster.Topology, the
+// rackless scenario keeps the zero value, so this locks the Topology
+// code path against the pre-topology wiring at the byte level.
+func TestRackFlatParity(t *testing.T) {
+	for _, policy := range []string{"round_robin", "least_loaded", "power_aware"} {
+		flat := Scenario{
+			Name:     "rack-parity",
+			Config:   "CPC1A",
+			Workload: Workload{Service: "memcached", QPS: 40000},
+			Cluster:  &Cluster{Servers: 4, Policy: policy, P99TargetUS: 300},
+		}
+		racked := flat
+		c := *flat.Cluster
+		c.Racks = 1
+		c.TorLatencyUS = 0
+		racked.Cluster = &c
+
+		opt := quickOpt()
+		fRep, fCSV := runArtifacts(t, flat, opt)
+		rRep, rCSV := runArtifacts(t, racked, opt)
+		if fRep != rRep {
+			t.Errorf("%s: 1-rack fleet report diverges from flat fleet:\nflat:\n%s\nracked:\n%s",
+				policy, fRep, rRep)
+		}
+		if fCSV != rCSV {
+			t.Errorf("%s: 1-rack fleet CSV diverges from flat fleet:\nflat:\n%s\nracked:\n%s",
+				policy, fCSV, rCSV)
+		}
+	}
+}
+
+// TestRackFlatParitySweptParallel extends the parity contract across a
+// sweep and across parallelism, in one shot: a swept 1-rack fleet at
+// parallelism 8 must match the rackless fleet run serially.
+func TestRackFlatParitySweptParallel(t *testing.T) {
+	flat := Scenario{
+		Name:     "rack-parity-swept",
+		Config:   "CPC1A",
+		Workload: Workload{Service: "memcached-bursty", QPS: 30000, Burstiness: 4},
+		Cluster:  &Cluster{Servers: 2, Policy: "least_loaded"},
+		Sweep:    &Sweep{Axis: AxisQPS, Values: []float64{20000, 40000}},
+	}
+	racked := flat
+	c := *flat.Cluster
+	c.Racks = 1
+	racked.Cluster = &c
+
+	serial, parallel := quickOpt(), quickOpt()
+	serial.Parallelism = 1
+	parallel.Parallelism = 8
+	fRep, fCSV := runArtifacts(t, flat, serial)
+	rRep, rCSV := runArtifacts(t, racked, parallel)
+	if fRep != rRep || fCSV != rCSV {
+		t.Errorf("swept/parallel rack parity broken:\nflat:\n%s\nracked:\n%s", fRep, rRep)
+	}
+}
+
+func rackScenario() Scenario {
+	return Scenario{
+		Name:        "rack-duel",
+		Description: "2x2 fleet, rack_affinity",
+		Config:      "CPC1A",
+		Workload:    Workload{Service: "memcached", QPS: 40000},
+		Cluster:     &Cluster{Servers: 4, Racks: 2, TorLatencyUS: 5, Policy: "rack_affinity"},
+	}
+}
+
+// TestRackReportAndCSV exercises the multi-rack output surface: the
+// topology in the header, the per-rack zone table, and the second CSV
+// table with one row per rack.
+func TestRackReportAndCSV(t *testing.T) {
+	res, err := rackScenario().Run(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Points[0]
+	if len(p.Racks) != 2 {
+		t.Fatalf("want 2 rack zones, got %d", len(p.Racks))
+	}
+	if !p.Racks[0].Local || p.Racks[1].Local {
+		t.Errorf("rack locality flags wrong: %+v", p.Racks)
+	}
+	rep := res.Report()
+	for _, want := range []string{"2x2 fleet (rack_affinity)", "per-rack", "zone W", "per-server"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	got := csv.String()
+	if !strings.Contains(got, "rack,local,servers,active_servers") {
+		t.Errorf("CSV missing rack table header:\n%s", got)
+	}
+	if !strings.Contains(got, ",0,true,2,") || !strings.Contains(got, ",1,false,2,") {
+		t.Errorf("CSV missing per-rack rows:\n%s", got)
+	}
+}
+
+// TestRacksSweep drives the topology from the sweep axis: one scenario,
+// three rack shapes of the same 8-server fleet.
+func TestRacksSweep(t *testing.T) {
+	sc := Scenario{
+		Name:     "rack-shapes",
+		Config:   "CPC1A",
+		Workload: Workload{Service: "memcached", QPS: 60000},
+		Cluster:  &Cluster{Servers: 8, Policy: "rack_affinity", TorLatencyUS: 5},
+		Sweep:    &Sweep{Axis: AxisRacks, Values: []float64{1, 2, 4}},
+	}
+	res, err := sc.Run(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("want 3 points, got %d", len(res.Points))
+	}
+	for i, wantRacks := range []int{0, 2, 4} { // flat points carry no rack zones
+		if got := len(res.Points[i].Racks); got != wantRacks {
+			t.Errorf("point %d: %d rack zones, want %d", i, got, wantRacks)
+		}
+	}
+	if !strings.Contains(res.Report(), "sweeping racks") {
+		t.Errorf("report missing axis annotation:\n%s", res.Report())
+	}
+}
+
+// TestTorLatencySweep drives the ToR hop from the sweep axis; a deeper
+// hop must not change which rack absorbs a light packed load, but must
+// raise nothing on the aggregate for a zero-remote-traffic fleet.
+func TestTorLatencySweep(t *testing.T) {
+	sc := Scenario{
+		Name:     "tor-sweep",
+		Config:   "CPC1A",
+		Workload: Workload{Service: "memcached", QPS: 200000},
+		Cluster:  &Cluster{Servers: 4, Racks: 2, Policy: "round_robin"},
+		Sweep:    &Sweep{Axis: AxisTorLatency, Values: []float64{0, 50, 200}},
+	}
+	res, err := sc.Run(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("want 3 points, got %d", len(res.Points))
+	}
+	// round_robin sends half the traffic across the ToR hop, so the
+	// fleet mean latency must rise monotonically with the hop.
+	for i := 1; i < 3; i++ {
+		if res.Points[i].MeanLatency <= res.Points[i-1].MeanLatency {
+			t.Errorf("mean latency not increasing with ToR hop: %v",
+				[]float64{res.Points[0].MeanLatency, res.Points[1].MeanLatency, res.Points[2].MeanLatency})
+		}
+	}
+}
+
+// TestRackSerialParallelBitIdentical extends the determinism contract to
+// rack sweeps and rack policies.
+func TestRackSerialParallelBitIdentical(t *testing.T) {
+	sc := Scenario{
+		Name:     "rack-det",
+		Config:   "CPC1A",
+		Workload: Workload{Service: "memcached-bursty", QPS: 50000, Burstiness: 4},
+		Cluster:  &Cluster{Servers: 8, Policy: "rack_power_aware", P99TargetUS: 300, TorLatencyUS: 10},
+		Sweep:    &Sweep{Axis: AxisRacks, Values: []float64{2, 4}},
+	}
+	serial, parallel := quickOpt(), quickOpt()
+	serial.Parallelism = 1
+	parallel.Parallelism = 8
+	sRep, sCSV := runArtifacts(t, sc, serial)
+	pRep, pCSV := runArtifacts(t, sc, parallel)
+	if sRep != pRep || sCSV != pCSV {
+		t.Error("rack sweep artifacts depend on parallelism")
+	}
+}
+
+func TestRackValidation(t *testing.T) {
+	base := func() Scenario { return rackScenario() }
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"negative racks", func(s *Scenario) { s.Cluster.Racks = -1 }},
+		{"negative tor", func(s *Scenario) { s.Cluster.TorLatencyUS = -1 }},
+		{"tor on a flat fleet", func(s *Scenario) { s.Cluster.Racks = 1 }},
+		{"rack_power_aware without target", func(s *Scenario) { s.Cluster.Policy = "rack_power_aware" }},
+		{"tor sweep without racks", func(s *Scenario) {
+			s.Cluster.Racks = 0
+			s.Cluster.TorLatencyUS = 0
+			s.Sweep = &Sweep{Axis: AxisTorLatency, Values: []float64{0, 10}}
+		}},
+		{"fractional racks value", func(s *Scenario) {
+			s.Sweep = &Sweep{Axis: AxisRacks, Values: []float64{1.5}}
+		}},
+		{"racks value below 1", func(s *Scenario) {
+			s.Sweep = &Sweep{Axis: AxisRacks, Values: []float64{0}}
+		}},
+		{"racks axis without cluster", func(s *Scenario) {
+			s.Cluster = nil
+			s.Sweep = &Sweep{Axis: AxisRacks, Values: []float64{1, 2}}
+		}},
+	}
+	for _, c := range cases {
+		sc := base()
+		c.mut(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+
+	// Swept rack_power_aware needs the target too.
+	sc := base()
+	sc.Cluster.Policy = ""
+	sc.Sweep = &Sweep{Axis: AxisPolicy, Policies: []string{"round_robin", "rack_power_aware"}}
+	if err := sc.Validate(); err == nil {
+		t.Error("policy sweep including rack_power_aware validated without a target")
+	}
+
+	// Indivisible topology is a per-point error: the sweep may drive
+	// either side of the division.
+	sc = base()
+	sc.Cluster.Racks = 3
+	if err := sc.Validate(); err != nil {
+		t.Errorf("divisibility check should wait for Run: %v", err)
+	}
+	if _, err := sc.Run(quickOpt()); err == nil ||
+		!strings.Contains(err.Error(), "does not divide") {
+		t.Errorf("Run should reject 3 racks over 4 servers, got %v", err)
+	}
+}

@@ -64,6 +64,12 @@ type Point struct {
 	// machine (the parity contract), so its aggregate row already is the
 	// server.
 	Servers []cluster.ServerStats `json:"servers,omitempty"`
+
+	// Racks is the per-rack-zone breakdown for multi-rack fleets. It
+	// stays empty for flat fleets (racks ≤ 1), whose aggregate row
+	// already is the only zone — which keeps flat output byte-identical
+	// to the pre-topology fleet (TestRackFlatParity).
+	Racks []cluster.RackStats `json:"racks,omitempty"`
 }
 
 // Result is a completed scenario run: the spec that produced it plus one
@@ -161,13 +167,16 @@ func (s Scenario) Run(opt experiments.Options) (*Result, error) {
 }
 
 // validateClusterPoint checks the parts of a cluster scenario that only
-// exist once the sweep value is applied: the fleet size, that every
-// per-server override targets a server that exists, and that each
-// member's merged configuration is coherent.
+// exist once the sweep value is applied: the fleet size, that the racks
+// divide it evenly, that every per-server override targets a server that
+// exists, and that each member's merged configuration is coherent.
 func (s *Scenario) validateClusterPoint(kind soc.ConfigKind) error {
 	n := s.Cluster.Servers
 	if n < 1 {
 		return fmt.Errorf("cluster.servers must be at least 1")
+	}
+	if r := s.Cluster.Racks; r > 1 && n%r != 0 {
+		return fmt.Errorf("cluster.racks %d does not divide %d servers into equal racks", r, n)
 	}
 	for key := range s.Cluster.ServerOverrides {
 		if idx, _ := strconv.Atoi(key); idx >= n {
@@ -210,10 +219,21 @@ func runClusterOne(sc Scenario, axisValue float64, axisLabel string, opt experim
 	kind, _ := soc.ParseConfigKind(sc.Config)
 	pol, _ := cluster.ParsePolicy(sc.Cluster.Policy)
 	spec, _, _ := sc.Workload.spec(sc.Cluster.Servers * soc.DefaultConfig(kind).CoreCount)
+	// An absent racks field keeps the zero-value topology; an explicit
+	// "racks": 1 goes through the Topology path as Flat(N). Both
+	// assemble the identical event sequence — and therefore identical
+	// output bytes — as the pre-topology cluster layer, which is exactly
+	// what TestRackFlatParity locks by comparing the two.
+	var topo cluster.Topology
+	if r := sc.Cluster.Racks; r >= 1 {
+		topo = cluster.Topology{Racks: r, ServersPerRack: sc.Cluster.Servers / r}
+	}
 	fl, err := cluster.New(cluster.Config{
-		Policy:    pol,
-		P99Target: sim.Duration(sc.Cluster.P99TargetUS * float64(sim.Microsecond)),
-		Members:   sc.clusterMembers(kind, opt.Seed),
+		Policy:     pol,
+		P99Target:  sim.Duration(sc.Cluster.P99TargetUS * float64(sim.Microsecond)),
+		Topology:   topo,
+		TorLatency: sim.Duration(sc.Cluster.TorLatencyUS * float64(sim.Microsecond)),
+		Members:    sc.clusterMembers(kind, opt.Seed),
 	}, spec, opt.Seed)
 	if err != nil {
 		// Unreachable after Validate + validateClusterPoint; a panic here
@@ -246,6 +266,7 @@ func runClusterOne(sc Scenario, axisValue float64, axisLabel string, opt experim
 	if sc.Cluster.Servers > 1 {
 		p.Servers = m.Servers
 	}
+	p.Racks = m.Racks
 	return p
 }
 
@@ -336,17 +357,30 @@ func (r *Result) clusterAnnotated() bool {
 	return c != nil && (c.Servers > 1 || clusterAxes[r.Axis])
 }
 
+// fleetDesc names the fleet shape for the report header: rack topology
+// when the fleet has one ("2x4 fleet"), plain size otherwise.
+func fleetDesc(c *Cluster) string {
+	if c.Racks > 1 {
+		return fmt.Sprintf("%dx%d fleet", c.Racks, c.Servers/c.Racks)
+	}
+	return fmt.Sprintf("%d-server fleet", c.Servers)
+}
+
 // Report implements experiments.Result.
 func (r *Result) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scenario %s: %s on %s", r.Scenario.Name, r.Scenario.Workload.Service, r.Scenario.Config)
 	if r.clusterAnnotated() {
-		if r.Axis == AxisServers {
-			fmt.Fprintf(&b, ", fleet (%s)", r.Scenario.Cluster.Policy)
-		} else if r.Axis == AxisPolicy {
-			fmt.Fprintf(&b, ", %d-server fleet", r.Scenario.Cluster.Servers)
-		} else {
-			fmt.Fprintf(&b, ", %d-server fleet (%s)", r.Scenario.Cluster.Servers, r.Scenario.Cluster.Policy)
+		c := r.Scenario.Cluster
+		switch r.Axis {
+		case AxisServers:
+			fmt.Fprintf(&b, ", fleet (%s)", c.Policy)
+		case AxisRacks:
+			fmt.Fprintf(&b, ", %d-server fleet (%s)", c.Servers, c.Policy)
+		case AxisPolicy:
+			fmt.Fprintf(&b, ", %s", fleetDesc(c))
+		default:
+			fmt.Fprintf(&b, ", %s (%s)", fleetDesc(c), c.Policy)
 		}
 	}
 	if r.Axis != "" {
@@ -414,6 +448,42 @@ func (r *Result) Report() string {
 			[]string{"server", "routed", "served", "mean", "p99", "total", "all-idle", "PC1A res", "dropped"},
 			srows))
 	}
+
+	// Per-rack power zones, one block per multi-rack point — whether
+	// packing kept whole racks dark is the rack story, and it is only
+	// visible at zone granularity.
+	for _, p := range r.Points {
+		if len(p.Racks) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nper-rack [%s=%s]:\n", axisHdr, p.axisCell())
+		rrows := make([][]string, 0, len(p.Racks))
+		for _, rs := range p.Racks {
+			local := ""
+			if rs.Local {
+				local = "*"
+			}
+			pc1a := "-"
+			if rs.PC1AResidency != nil {
+				pc1a = fmt.Sprintf("%.1f%%", *rs.PC1AResidency*100)
+			}
+			rrows = append(rrows, []string{
+				fmt.Sprintf("%d%s", rs.Index, local),
+				fmt.Sprintf("%d/%d", rs.ActiveServers, rs.Servers),
+				fmt.Sprintf("%d", rs.Routed),
+				fmt.Sprintf("%d", rs.Served),
+				fmt.Sprintf("%.1fus", rs.MeanLatency*1e6),
+				fmt.Sprintf("%.1fus", rs.P99Latency*1e6),
+				fmt.Sprintf("%.1fW", rs.TotalWatts),
+				fmt.Sprintf("%.1f%%", rs.AllIdle*100),
+				pc1a,
+				fmt.Sprintf("%d", rs.Dropped),
+			})
+		}
+		b.WriteString(experiments.RenderTable(
+			[]string{"rack", "active", "routed", "served", "mean", "p99", "zone W", "all-idle", "PC1A res", "dropped"},
+			rrows))
+	}
 	return b.String()
 }
 
@@ -430,11 +500,18 @@ func (p Point) axisCell() string {
 // (identical in shape to single-machine rows — the parity contract);
 // per-server series are in the -json output, not duplicated here. The
 // axis_label column is empty except on the string-valued policy axis.
+// Multi-rack points additionally emit a second, blank-line-separated
+// rack-zone table; flat fleets emit nothing extra, so their CSV stays
+// byte-identical to the pre-topology format (TestRackFlatParity).
 func (r *Result) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "axis,axis_label,workload,offered_qps,served,generated,dropped,mean_s,p50_s,p99_s,soc_w,dram_w,total_w,cc0,cc1,all_idle,all_idle_censored,pc1a_residency,pc1a_entries"); err != nil {
 		return err
 	}
+	haveRacks := false
 	for _, p := range r.Points {
+		if len(p.Racks) > 0 {
+			haveRacks = true
+		}
 		// PC1A cells stay empty on configurations without an APMU.
 		pc1aRes, pc1aEnt := "", ""
 		if p.PC1AResidency != nil {
@@ -450,6 +527,31 @@ func (r *Result) WriteCSV(w io.Writer) error {
 			p.CC0Residency, p.CC1Residency, p.AllIdle, p.AllIdleCensored,
 			pc1aRes, pc1aEnt); err != nil {
 			return err
+		}
+	}
+	if !haveRacks {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "\naxis,axis_label,rack,local,servers,active_servers,routed,served,dropped,mean_s,p99_s,soc_w,dram_w,total_w,all_idle,pc1a_residency,pc1a_entries"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		for _, rs := range p.Racks {
+			pc1aRes, pc1aEnt := "", ""
+			if rs.PC1AResidency != nil {
+				pc1aRes = fmt.Sprintf("%g", *rs.PC1AResidency)
+			}
+			if rs.PC1AEntries != nil {
+				pc1aEnt = fmt.Sprintf("%d", *rs.PC1AEntries)
+			}
+			if _, err := fmt.Fprintf(w, "%g,%s,%d,%t,%d,%d,%d,%d,%d,%g,%g,%g,%g,%g,%g,%s,%s\n",
+				p.Axis, p.AxisLabel, rs.Index, rs.Local, rs.Servers, rs.ActiveServers,
+				rs.Routed, rs.Served, rs.Dropped,
+				rs.MeanLatency, rs.P99Latency,
+				rs.SoCWatts, rs.DRAMWatts, rs.TotalWatts,
+				rs.AllIdle, pc1aRes, pc1aEnt); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

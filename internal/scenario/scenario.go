@@ -19,15 +19,17 @@
 //
 // Adding a cluster block turns the scenario into a fleet experiment: N
 // servers behind a load balancer on one shared engine (see package
-// cluster), with the workload rates read as fleet-aggregate values:
+// cluster), with the workload rates read as fleet-aggregate values, and
+// optionally racked (racks, tor_latency_us) for rack-granular routing:
 //
 //	{
 //	  "name": "pack-vs-spread",
 //	  "config": "CPC1A",
 //	  "workload": {"service": "memcached", "qps": 80000},
-//	  "cluster": {"servers": 4, "p99_target_us": 300},
+//	  "cluster": {"servers": 4, "racks": 2, "tor_latency_us": 5,
+//	              "p99_target_us": 300},
 //	  "sweep": {"axis": "policy",
-//	            "policies": ["round_robin", "least_loaded", "power_aware"]}
+//	            "policies": ["round_robin", "rack_affinity", "power_aware"]}
 //	}
 //
 // The full field reference for the JSON schema is in README.md
@@ -82,19 +84,28 @@ type Scenario struct {
 }
 
 // Cluster declares the fleet shape: how many servers sit behind the load
-// balancer and how it routes. See package cluster for the policy
-// semantics.
+// balancer, how they are racked, and how the balancer routes. See
+// package cluster for the policy and topology semantics.
 type Cluster struct {
 	// Servers is the fleet size. It may be 0 only when the sweep axis is
 	// "servers" (the sweep then drives it).
 	Servers int `json:"servers"`
-	// Policy is "round_robin", "least_loaded" or "power_aware". It may
-	// be empty only when the sweep axis is "policy".
+	// Policy is "round_robin", "least_loaded", "power_aware",
+	// "rack_affinity" or "rack_power_aware". It may be empty only when
+	// the sweep axis is "policy".
 	Policy string `json:"policy"`
-	// P99TargetUS is the latency budget (µs) the power_aware policy
-	// packs against; required whenever power_aware is the policy or
-	// among the swept policies.
+	// P99TargetUS is the latency budget (µs) the power_aware and
+	// rack_power_aware policies pack against; required whenever either
+	// is the policy or among the swept policies.
 	P99TargetUS float64 `json:"p99_target_us,omitempty"`
+	// Racks splits the fleet into racks of Servers/Racks machines each
+	// (Servers must divide evenly); 0 or 1 means a flat fleet. Rack 0
+	// hosts the balancer.
+	Racks int `json:"racks,omitempty"`
+	// TorLatencyUS is the one-way top-of-rack hop (µs) paid per
+	// direction by requests routed into a rack other than rack 0.
+	// Setting it requires racks > 1 (or the racks sweep axis).
+	TorLatencyUS float64 `json:"tor_latency_us,omitempty"`
 	// ServerOverrides refines individual servers on top of the
 	// scenario-level Server overrides, keyed by decimal server index
 	// ("0" … "N-1") — a heterogeneous fleet (one slow machine, one
@@ -200,12 +211,15 @@ const (
 	AxisNetworkLatency = "network_latency_us"
 	AxisServers        = "servers"
 	AxisPolicy         = "policy"
+	AxisRacks          = "racks"
+	AxisTorLatency     = "tor_latency_us"
 )
 
 var knownAxes = map[string]bool{
 	AxisQPS: true, AxisUtil: true, AxisLoad: true, AxisBurstiness: true,
 	AxisThreads: true, AxisBatchEpochUS: true, AxisTickHz: true,
 	AxisNetworkLatency: true, AxisServers: true, AxisPolicy: true,
+	AxisRacks: true, AxisTorLatency: true,
 }
 
 // serverAxes drive server.Config knobs and apply to every service.
@@ -215,7 +229,7 @@ var serverAxes = map[string]bool{
 
 // clusterAxes drive the cluster block and require one.
 var clusterAxes = map[string]bool{
-	AxisServers: true, AxisPolicy: true,
+	AxisServers: true, AxisPolicy: true, AxisRacks: true, AxisTorLatency: true,
 }
 
 // workloadAxes lists which workload-side axes each service actually
@@ -264,6 +278,14 @@ func (s Scenario) at(axis string, v float64) Scenario {
 	case AxisServers:
 		c := *s.Cluster
 		c.Servers = int(v)
+		s.Cluster = &c
+	case AxisRacks:
+		c := *s.Cluster
+		c.Racks = int(v)
+		s.Cluster = &c
+	case AxisTorLatency:
+		c := *s.Cluster
+		c.TorLatencyUS = v
 		s.Cluster = &c
 	case AxisPolicy:
 		c := *s.Cluster
@@ -328,11 +350,11 @@ func (s *Scenario) Validate() error {
 			if v < 0 {
 				return fmt.Errorf("scenario %q: negative %s value %g", s.Name, s.Sweep.Axis, v)
 			}
-			if (s.Sweep.Axis == AxisThreads || s.Sweep.Axis == AxisServers) && v != float64(int(v)) {
+			if (s.Sweep.Axis == AxisThreads || s.Sweep.Axis == AxisServers || s.Sweep.Axis == AxisRacks) && v != float64(int(v)) {
 				return fmt.Errorf("scenario %q: %s value %g is not an integer", s.Name, s.Sweep.Axis, v)
 			}
-			if s.Sweep.Axis == AxisServers && v < 1 {
-				return fmt.Errorf("scenario %q: servers value %g is below 1", s.Name, v)
+			if (s.Sweep.Axis == AxisServers || s.Sweep.Axis == AxisRacks) && v < 1 {
+				return fmt.Errorf("scenario %q: %s value %g is below 1", s.Name, s.Sweep.Axis, v)
 			}
 		}
 	}
@@ -367,14 +389,17 @@ func (s *Scenario) validateCluster() error {
 	if c.Servers < 1 && sweepAxis != AxisServers {
 		return fmt.Errorf("scenario %q: cluster.servers must be at least 1", s.Name)
 	}
-	powerAware := false
+	needsTarget := func(p cluster.Policy) bool {
+		return p == cluster.PowerAware || p == cluster.RackPowerAware
+	}
+	capped := false
 	if sweepAxis == AxisPolicy {
 		if c.Policy != "" {
 			return fmt.Errorf("scenario %q: cluster.policy %q conflicts with the policy sweep — leave it empty", s.Name, c.Policy)
 		}
 		for _, p := range s.Sweep.Policies {
-			if p == cluster.PowerAware.String() {
-				powerAware = true
+			if pol, err := cluster.ParsePolicy(p); err == nil && needsTarget(pol) {
+				capped = true
 			}
 		}
 	} else {
@@ -382,13 +407,27 @@ func (s *Scenario) validateCluster() error {
 		if err != nil {
 			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
-		powerAware = pol == cluster.PowerAware
+		capped = needsTarget(pol)
 	}
 	if c.P99TargetUS < 0 {
 		return fmt.Errorf("scenario %q: negative cluster.p99_target_us", s.Name)
 	}
-	if powerAware && c.P99TargetUS <= 0 {
-		return fmt.Errorf("scenario %q: power_aware needs cluster.p99_target_us > 0", s.Name)
+	if capped && c.P99TargetUS <= 0 {
+		return fmt.Errorf("scenario %q: power_aware policies need cluster.p99_target_us > 0", s.Name)
+	}
+	if c.Racks < 0 {
+		return fmt.Errorf("scenario %q: negative cluster.racks", s.Name)
+	}
+	if c.TorLatencyUS < 0 {
+		return fmt.Errorf("scenario %q: negative cluster.tor_latency_us", s.Name)
+	}
+	// A ToR hop with nothing non-local to cross would be silently inert,
+	// like sweeping an ignored axis — reject it up front.
+	if c.TorLatencyUS > 0 && c.Racks <= 1 && sweepAxis != AxisRacks {
+		return fmt.Errorf("scenario %q: cluster.tor_latency_us needs racks > 1", s.Name)
+	}
+	if sweepAxis == AxisTorLatency && c.Racks <= 1 {
+		return fmt.Errorf("scenario %q: the %s axis needs cluster.racks > 1 — a flat fleet pays no ToR hop", s.Name, AxisTorLatency)
 	}
 	for key, ov := range c.ServerOverrides {
 		idx, err := strconv.Atoi(key)

@@ -1,18 +1,22 @@
 #!/bin/sh
-# bench.sh [sim|all] — run the benchmark suite and snapshot the results.
+# bench.sh [sim|all] [snapshot.json] — run the benchmark suite and
+# snapshot the results.
 #
 # Writes:
-#   bench.txt        raw `go test -bench` output, benchstat-comparable
-#                    (benchstat old.txt bench.txt)
-#   BENCH_pr2.json   parsed {name, ns_op, b_op, allocs_op} records, the
-#                    perf-trajectory snapshot for this PR (earlier PRs'
-#                    snapshots stay committed as BENCH_pr<N>.json)
+#   bench.txt      raw `go test -bench` output, benchstat-comparable
+#                  (benchstat old.txt bench.txt)
+#   snapshot.json  parsed {name, ns_op, b_op, allocs_op} records; the
+#                  second argument names the file (default
+#                  BENCH_pr4.json, this PR's perf-trajectory snapshot —
+#                  earlier PRs' snapshots stay committed as
+#                  BENCH_pr<N>.json, so pass the next PR's name instead
+#                  of editing this script)
 set -e
 cd "$(dirname "$0")/.."
 
 MODE="${1:-all}"
 OUT=bench.txt
-SNAP=BENCH_pr2.json
+SNAP="${2:-BENCH_pr4.json}"
 
 case "$MODE" in
 sim)
@@ -22,7 +26,7 @@ all)
 	PKGS="./internal/sim/ ."
 	;;
 *)
-	echo "usage: $0 [sim|all]" >&2
+	echo "usage: $0 [sim|all] [snapshot.json]" >&2
 	exit 2
 	;;
 esac
