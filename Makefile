@@ -4,8 +4,15 @@ GO ?= go
 
 all: build test vet
 
+# build compiles every package and then explicitly links both command
+# binaries, so a main-package-only breakage (apctop once had no tests
+# and was exercised by nothing but the package walk) fails this target
+# by name. The apctop smoke test (cmd/apctop/main_test.go) additionally
+# runs one observer interval under `make test`.
 build:
 	$(GO) build ./...
+	$(GO) build -o /dev/null ./cmd/apcsim
+	$(GO) build -o /dev/null ./cmd/apctop
 
 test:
 	$(GO) test ./...
@@ -49,7 +56,7 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark suite: benchstat-comparable text in bench.txt plus a
-# machine-readable snapshot (BENCH_pr4.json by default; pass the next
+# machine-readable snapshot (BENCH_pr5.json by default; pass the next
 # PR's name as the second bench.sh argument) recording the perf
 # trajectory.
 bench:

@@ -21,8 +21,12 @@ import (
 	"runtime"
 	"testing"
 
+	"agilepkgc/internal/cluster"
 	"agilepkgc/internal/experiments"
+	"agilepkgc/internal/server"
 	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/workload"
 )
 
 // benchOptions keeps per-iteration virtual time moderate so the full
@@ -197,4 +201,49 @@ func BenchmarkArea(b *testing.B) {
 		r = experiments.Area(experiments.DefaultAreaModel())
 	}
 	b.ReportMetric(r.Total*100, "die-area-%")
+}
+
+// benchmarkFleetRouting measures the balancer's hot path: one
+// iteration advances a live 8-server power_aware fleet by 1 ms of
+// virtual time (~300 routed requests plus every machine event behind
+// them). The three variants bound the PR 5 controller's cost — the
+// drain decision is a per-arrival scan and the feedback recompute is
+// one engine event per epoch, so Drain/Feedback must stay within a few
+// percent of the static baseline (the BENCH_pr5.json snapshot records
+// the comparison).
+func benchmarkFleetRouting(b *testing.B, hold, epoch sim.Duration) {
+	b.ReportAllocs()
+	members := make([]cluster.MemberConfig, 8)
+	for i := range members {
+		scfg := server.DefaultConfig()
+		scfg.Seed = 1
+		members[i] = cluster.MemberConfig{SoC: soc.DefaultConfig(soc.CPC1A), Server: scfg}
+	}
+	fl, err := cluster.New(cluster.Config{
+		Policy:        cluster.PowerAware,
+		P99Target:     300 * sim.Microsecond,
+		Topology:      cluster.Flat(8),
+		DrainHold:     hold,
+		FeedbackEpoch: epoch,
+		Members:       members,
+	}, workload.MemcachedBursty(300000, 8), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fl.Run(sim.Millisecond) // prime the pipeline outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.Run(sim.Millisecond)
+	}
+	b.ReportMetric(float64(fl.Generated())/float64(b.N+1), "req/iter")
+}
+
+func BenchmarkFleetRouting(b *testing.B) { benchmarkFleetRouting(b, 0, 0) }
+
+func BenchmarkFleetRoutingDrain(b *testing.B) {
+	benchmarkFleetRouting(b, 1000*sim.Microsecond, 0)
+}
+
+func BenchmarkFleetRoutingFeedback(b *testing.B) {
+	benchmarkFleetRouting(b, 1000*sim.Microsecond, 1000*sim.Microsecond)
 }

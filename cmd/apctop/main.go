@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -25,12 +27,35 @@ import (
 	"agilepkgc/internal/workload"
 )
 
+// readoutHeader is the MSR-readout column header; the smoke test
+// (main_test.go) asserts one interval of output starts with it.
+const readoutHeader = "interval   pkg-W    dram-W   CC1-res%   PC1A-res%  served"
+
 func main() {
-	configName := flag.String("config", "cpc1a", "system configuration: cshallow, cdeep, cpc1a")
-	qps := flag.Float64("qps", 20000, "memcached request rate (0 = idle)")
-	intervals := flag.Int("intervals", 10, "number of reporting intervals")
-	interval := flag.Duration("interval", 100*time.Millisecond, "virtual time per interval")
-	flag.Parse()
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "apctop: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the whole observer against w, so the CI smoke test can
+// drive it in-process; only flag parsing stays in the flag package's
+// hands (ContinueOnError, so bad flags surface as an error, not an
+// exit).
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("apctop", flag.ContinueOnError)
+	fs.SetOutput(w)
+	configName := fs.String("config", "cpc1a", "system configuration: cshallow, cdeep, cpc1a")
+	qps := fs.Float64("qps", 20000, "memcached request rate (0 = idle)")
+	intervals := fs.Int("intervals", 10, "number of reporting intervals")
+	interval := fs.Duration("interval", 100*time.Millisecond, "virtual time per interval")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// -h printed the usage; that is success, not an error.
+			return nil
+		}
+		return err
+	}
 
 	var kind soc.ConfigKind
 	switch strings.ToLower(*configName) {
@@ -41,8 +66,13 @@ func main() {
 	case "cpc1a":
 		kind = soc.CPC1A
 	default:
-		fmt.Fprintf(os.Stderr, "apctop: unknown config %q\n", *configName)
-		os.Exit(2)
+		return fmt.Errorf("unknown config %q", *configName)
+	}
+	if *intervals < 1 {
+		return fmt.Errorf("intervals must be at least 1 (got %d)", *intervals)
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("interval must be positive (got %v)", *interval)
 	}
 
 	sys := soc.New(soc.DefaultConfig(kind))
@@ -52,18 +82,18 @@ func main() {
 		srv = server.New(sys, server.DefaultConfig(), workload.Memcached(*qps))
 	}
 
+	var readErr error
 	read := func(addr uint32, core int) uint64 {
 		v, err := mon.Read(addr, core)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "apctop: %v\n", err)
-			os.Exit(1)
+		if err != nil && readErr == nil {
+			readErr = err
 		}
 		return v
 	}
 
-	fmt.Printf("apctop: %s, %s, %.0f QPS, %d x %v intervals\n\n",
+	fmt.Fprintf(w, "apctop: %s, %s, %.0f QPS, %d x %v intervals\n\n",
 		kind, sys.Cores[0].Governor(), *qps, *intervals, *interval)
-	fmt.Println("interval   pkg-W    dram-W   CC1-res%   PC1A-res%  served")
+	fmt.Fprintln(w, readoutHeader)
 
 	dt := sim.Duration((*interval).Nanoseconds())
 	var servedPrev uint64
@@ -91,6 +121,9 @@ func main() {
 		for c := range sys.Cores {
 			cc11 += read(msr.MSRCoreC1Residency, c)
 		}
+		if readErr != nil {
+			return readErr
+		}
 		wall := dt.Seconds()
 		pkgW := msr.EnergyDelta(pkg0, pkg1) / wall
 		dramW := msr.EnergyDelta(dram0, dram1) / wall
@@ -105,7 +138,8 @@ func main() {
 			served = srv.Served() - servedPrev
 			servedPrev = srv.Served()
 		}
-		fmt.Printf("%-9d  %6.2f   %6.2f   %7.1f    %7.1f    %d\n",
+		fmt.Fprintf(w, "%-9d  %6.2f   %6.2f   %7.1f    %7.1f    %d\n",
 			i, pkgW, dramW, cc1Res*100, pc1aRes*100, served)
 	}
+	return nil
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmokeOneInterval is the CI gate that keeps apctop from rotting
+// silently (it used to have no tests at all, so only `go build ./...`
+// ever touched it): run one short interval on every configuration and
+// check the MSR-readout header plus a data row come out.
+func TestSmokeOneInterval(t *testing.T) {
+	for _, cfg := range []string{"cpc1a", "cshallow", "cdeep"} {
+		var b strings.Builder
+		err := run(&b, []string{"-config", cfg, "-intervals", "1", "-interval", "10ms"})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, readoutHeader) {
+			t.Errorf("%s: output missing the MSR-readout header %q:\n%s", cfg, readoutHeader, out)
+		}
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		last := lines[len(lines)-1]
+		if !strings.HasPrefix(last, "0 ") {
+			t.Errorf("%s: missing interval-0 data row, got %q", cfg, last)
+		}
+		if !strings.Contains(lines[0], "apctop: "+map[string]string{
+			"cpc1a": "C_PC1A", "cshallow": "Cshallow", "cdeep": "Cdeep"}[cfg]) {
+			t.Errorf("%s: banner does not name the configuration: %q", cfg, lines[0])
+		}
+	}
+}
+
+// TestSmokeIdle covers the qps=0 path (no server, raw engine time).
+func TestSmokeIdle(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-qps", "0", "-intervals", "1", "-interval", "5ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), readoutHeader) {
+		t.Errorf("idle run missing header:\n%s", b.String())
+	}
+}
+
+// TestHelpIsNotAnError: -h prints usage and succeeds, matching the
+// conventional flag.ExitOnError exit status of 0.
+func TestHelpIsNotAnError(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-h"}); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+	if !strings.Contains(b.String(), "Usage of apctop") {
+		t.Errorf("-h did not print usage:\n%s", b.String())
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-config", "znver5"},
+		{"-intervals", "0"},
+		{"-interval", "-1ms"},
+		{"-no-such-flag"},
+	} {
+		if err := run(&strings.Builder{}, args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -37,7 +37,10 @@
 //	internal/cluster      fleets: N servers on one shared engine behind
 //	                      a load balancer with power-aware and
 //	                      rack-affinity routing over a multi-rack
-//	                      topology (ToR hops, per-rack power zones)
+//	                      topology (ToR hops, per-rack power zones),
+//	                      plus balancer dynamics — a hysteretic drain
+//	                      controller and a p99-driven SLA feedback loop
+//	                      over the packing caps
 //	internal/trace        C-state residency tracing, idle-period stats,
 //	                      VCD dump
 //	internal/stats        histograms, P² quantiles, distributions, RNG

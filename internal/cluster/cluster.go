@@ -51,6 +51,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"agilepkgc/internal/cpu"
@@ -194,6 +195,24 @@ type Config struct {
 	// requests routed into a rack other than rack 0 (where the balancer
 	// sits). Inert on flat topologies, which have no non-local rack.
 	TorLatency sim.Duration
+	// DrainHold, when non-zero, turns on the hysteretic drain controller
+	// for the power_aware and rack_power_aware policies (ignored by the
+	// others, which derive no cap): once the controller decides a server
+	// (or, rack-first under rack_power_aware, a whole rack) is surplus,
+	// the balancer stops routing to it until its in-flight count reaches
+	// zero AND this much additional virtual time passes, so drained
+	// members accumulate consolidated idle stretches instead of flapping
+	// at the packing frontier. Zero keeps the static PR 4 behavior —
+	// byte-identical event sequence, no controller events. See drain.go.
+	DrainHold sim.Duration
+	// FeedbackEpoch, when non-zero, arms the SLA feedback loop for the
+	// power_aware and rack_power_aware policies: every epoch of virtual
+	// time each member's packing cap is recomputed from its measured
+	// window p99 against P99Target (multiplicative decrease, additive
+	// increase, integer caps, members updated in index order), replacing
+	// the static derived cap after the first epoch. Zero keeps the
+	// static cap for the whole run. See drain.go.
+	FeedbackEpoch sim.Duration
 	// Members configures each server; the slice index is the server id
 	// routing policies and reports use.
 	Members []MemberConfig
@@ -213,6 +232,14 @@ type member struct {
 	transit int          // routed, still riding the ToR hop
 	routed  uint64
 	dropped uint64
+
+	// Controller state (inert unless the fleet has one; see drain.go).
+	state   memberState
+	holdGen uint64           // invalidates stale hold-expiry events
+	drains  uint64           // completed drains (entries into the held state)
+	capMax  int              // feedback additive-increase ceiling
+	netLat  sim.Duration     // effective client RTT component (ToR return folded in)
+	win     *stats.Histogram // current-epoch latency window (feedback only)
 }
 
 // Fleet is N servers behind one load balancer on one engine.
@@ -226,6 +253,17 @@ type Fleet struct {
 	members []*member
 	byRack  [][]*member
 	rr      int
+
+	// ctrl is the balancer-dynamics controller; nil when both DrainHold
+	// and FeedbackEpoch are zero (or the policy derives no cap), which
+	// is what keeps the zero-configuration fleet byte-identical to the
+	// static-cap wiring.
+	ctrl *controller
+
+	// testOnRoute, when non-nil, observes every routing decision before
+	// it takes effect — the seam the drain property tests assert
+	// eligibility invariants through. Always nil outside tests.
+	testOnRoute func(*member)
 }
 
 // New assembles a fleet on a fresh engine: every member's SoC and server
@@ -259,6 +297,12 @@ func New(cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
 	if cfg.TorLatency < 0 {
 		return nil, fmt.Errorf("cluster: negative TorLatency")
 	}
+	if cfg.DrainHold < 0 {
+		return nil, fmt.Errorf("cluster: negative DrainHold")
+	}
+	if cfg.FeedbackEpoch < 0 {
+		return nil, fmt.Errorf("cluster: negative FeedbackEpoch")
+	}
 
 	eng := sim.NewEngine()
 	f := &Fleet{eng: eng, cfg: cfg, topo: topo, spec: spec}
@@ -277,15 +321,17 @@ func New(cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
 		eff := mc
 		eff.Server.NetworkLatency += tor
 		m := &member{
-			rack: rack,
-			tor:  tor,
-			cap:  capFor(cfg.Policy, mc, spec, cfg.P99Target, 2*tor),
+			rack:   rack,
+			tor:    tor,
+			cap:    capFor(cfg.Policy, mc, spec, cfg.P99Target, 2*tor),
+			netLat: eff.Server.NetworkLatency,
 		}
 		m.sys = soc.NewOnEngine(eff.SoC, eng)
 		m.srv = server.NewClosedLoop(m.sys, eff.Server)
 		f.members = append(f.members, m)
 		f.byRack[rack] = append(f.byRack[rack], m)
 	}
+	f.initController()
 	f.gen = workload.NewGenerator(eng, spec, seed, f.route)
 	return f, nil
 }
@@ -306,6 +352,17 @@ func capFor(pol Policy, mc MemberConfig, spec workload.Spec, target sim.Duration
 	return powerAwareCap(mc, spec, target, torRTT)
 }
 
+// maxPackCap bounds the derived packing cap. Real fleets never hold
+// anywhere near 2³⁰ in-flight requests per server, so any cap at or
+// above the bound behaves as "unlimited"; its real job is keeping the
+// cap arithmetic inside int64 (and the cap inside int32, for 32-bit
+// builds) when the p99 target is extreme.
+const maxPackCap = 1 << 30
+
+// maxDuration is the largest representable span of virtual time, used
+// by the overflow guards below.
+const maxDuration = sim.Duration(math.MaxInt64)
+
 // powerAwareCap derives the per-server in-flight cap the power_aware
 // policies pack against. A request's latency floor is network RTT + both
 // NIC transfers + kernel + mean service time (+ the rack round trip for
@@ -315,10 +372,19 @@ func capFor(pol Policy, mc MemberConfig, spec workload.Spec, target sim.Duration
 //
 //	cap = cores + (target − floor) / (meanCoreTime / cores)
 //
-// clamped to at least 1 so a server can always make progress. The
+// clamped to [1, maxPackCap] so a server can always make progress. The
 // derivation uses only configuration and workload means, so it is a
-// deterministic function of the inputs — no online estimation, no
-// feedback loops that could order events differently across runs.
+// deterministic function of the inputs — no online estimation on this
+// path (the FeedbackEpoch controller adjusts the cap later, but only at
+// its own engine events).
+//
+// The quotient is computed overflow-safely: the naive
+// slack·cores/meanCoreTime wraps negative inside int64 when the target
+// is extreme (e.g. a p99_target_us near 2⁶³ ns / cores) or the mean
+// core time tiny, and the old `cap < 1` clamp then silently turned an
+// effectively infinite latency budget into the tightest possible cap of
+// 1 — the exact opposite of the configuration's intent
+// (TestPowerAwareCapExtremeTargets locks the fix).
 func powerAwareCap(mc MemberConfig, spec workload.Spec, target sim.Duration, torRTT sim.Duration) int {
 	cores := mc.SoC.CoreCount
 	if cores <= 0 || target <= 0 {
@@ -330,10 +396,30 @@ func powerAwareCap(mc MemberConfig, spec workload.Spec, target sim.Duration, tor
 		mc.Server.KernelOverhead + meanService + torRTT
 	cap := cores
 	if slack := target - floor; slack > 0 && meanCoreTime > 0 {
-		cap += int(slack * sim.Duration(cores) / meanCoreTime)
+		c := sim.Duration(cores)
+		switch {
+		case slack/meanCoreTime >= maxPackCap/c:
+			// The quotient alone saturates the cap; computing the exact
+			// value (which may not even fit int64) is pointless.
+			cap = maxPackCap
+		case slack <= maxDuration/c:
+			// slack·cores cannot overflow: the exact legacy formula.
+			cap += int(slack * c / meanCoreTime)
+		default:
+			// slack·cores would overflow but the quotient is small, so
+			// meanCoreTime is huge. Decompose exactly — ⌊slack·c/m⌋ =
+			// (slack/m)·c + ⌊(slack%m)·c/m⌋ — with the remainder term
+			// (a value below cores) evaluated in float64, where its
+			// sub-integer precision is irrelevant at this magnitude.
+			q, r := slack/meanCoreTime, slack%meanCoreTime
+			cap += int(q)*cores + int(float64(r)/float64(meanCoreTime)*float64(cores))
+		}
 	}
 	if cap < 1 {
 		cap = 1
+	}
+	if cap > maxPackCap {
+		cap = maxPackCap
 	}
 	return cap
 }
@@ -346,31 +432,45 @@ func (f *Fleet) load(m *member) int { return m.srv.InFlight() + m.transit }
 
 // route assigns one arrival to a member according to the policy and
 // delivers it — immediately for local-rack members, one ToR hop later
-// for remote racks.
+// for remote racks. With a controller attached the completion is
+// observed (drain-to-empty detection, feedback latency window) and the
+// drain decision runs after the assignment, on the post-routing state.
 func (f *Fleet) route(req *workload.Request) {
 	m := f.pick()
+	if f.testOnRoute != nil {
+		f.testOnRoute(m)
+	}
 	m.routed++
+	var done func()
+	if f.ctrl != nil {
+		done = func() { f.onComplete(m, req) }
+	}
 	if m.tor > 0 {
 		m.transit++
 		f.eng.Schedule(m.tor, func() {
 			m.transit--
-			m.srv.Submit(req, nil)
+			m.srv.Submit(req, done)
 		})
-		return
+	} else {
+		m.srv.Submit(req, done)
 	}
-	m.srv.Submit(req, nil)
+	if f.ctrl != nil && f.ctrl.hold > 0 {
+		f.maybeDrain()
+	}
 }
 
 // pick implements the routing policies. All tie-breaks are by rack then
 // server index, so routing is a deterministic function of the servers'
-// in-flight state.
+// in-flight state. Members the controller is draining or holding are
+// ineligible (eligible is vacuously true for every member when no
+// controller is attached).
 func (f *Fleet) pick() *member {
 	switch f.cfg.Policy {
 	case LeastLoaded:
 		return f.leastLoaded()
 	case PowerAware:
 		for _, m := range f.members {
-			if f.load(m) < m.cap {
+			if m.eligible() && f.load(m) < m.cap {
 				return m
 			}
 		}
@@ -392,12 +492,17 @@ func (f *Fleet) pick() *member {
 // lowest index wins ties; within the chosen rack an already-active
 // server below its cap beats waking an idle one, again lowest index
 // first. When no rack has headroom the latency target is not holdable,
-// so the policy degrades to least_loaded like power_aware does.
+// so the policy degrades to least_loaded like power_aware does. Only
+// eligible members count — a rack the controller is draining has none,
+// so it neither attracts traffic nor offers headroom.
 func (f *Fleet) rackPick() *member {
 	chosen, chosenActive := -1, false
 	for r, rack := range f.byRack {
 		active, spare := false, false
 		for _, m := range rack {
+			if !m.eligible() {
+				continue
+			}
 			if f.load(m) > 0 {
 				active = true
 			}
@@ -420,7 +525,7 @@ func (f *Fleet) rackPick() *member {
 	}
 	var idle *member
 	for _, m := range f.byRack[chosen] {
-		if f.load(m) >= m.cap {
+		if !m.eligible() || f.load(m) >= m.cap {
 			continue
 		}
 		if f.load(m) > 0 {
@@ -433,14 +538,24 @@ func (f *Fleet) rackPick() *member {
 	return idle
 }
 
-// leastLoaded returns the member with the fewest in-flight-or-in-transit
-// requests, lowest index on ties.
+// leastLoaded returns the eligible member with the fewest
+// in-flight-or-in-transit requests, lowest index on ties. At least one
+// member is always eligible: the drain controller never drains server 0
+// (nor rack 0), so the overload fallback cannot violate a hold.
 func (f *Fleet) leastLoaded() *member {
-	best := f.members[0]
-	for _, m := range f.members[1:] {
-		if f.load(m) < f.load(best) {
+	var best *member
+	for _, m := range f.members {
+		if !m.eligible() {
+			continue
+		}
+		if best == nil || f.load(m) < f.load(best) {
 			best = m
 		}
+	}
+	if best == nil {
+		// Unreachable (server 0 is never drained); defensively fall
+		// back rather than dropping the request.
+		best = f.members[0]
 	}
 	return best
 }
@@ -511,6 +626,11 @@ type ServerStats struct {
 	// flight when the fleet drain gave up.
 	Served  uint64 `json:"served"`
 	Dropped uint64 `json:"dropped"`
+	// Drains counts completed hysteretic drains: times the controller
+	// drained this server to empty and held it (see drain.go). Always 0
+	// — and omitted from JSON — without a drain controller, which keeps
+	// controller-free output byte-identical to the static-cap fleet.
+	Drains uint64 `json:"drains,omitempty"`
 
 	// Client-observed latencies of this server's requests, seconds.
 	MeanLatency float64 `json:"mean_latency_s"`
@@ -575,6 +695,9 @@ type Measurement struct {
 	Served    uint64 `json:"served"`
 	Generated uint64 `json:"generated"`
 	Dropped   uint64 `json:"dropped"`
+	// Drains sums the members' completed hysteretic drains; 0 (and
+	// omitted) without a drain controller.
+	Drains uint64 `json:"drains,omitempty"`
 
 	// ServedWindow counts only the requests completed inside the
 	// measured window (Served also includes warmup), and Window is that
@@ -656,6 +779,7 @@ func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
 			Routed:          m.routed,
 			Served:          m.srv.Served(),
 			Dropped:         m.dropped,
+			Drains:          m.drains,
 			MeanLatency:     m.srv.Latencies().Mean(),
 			P99Latency:      m.srv.Latencies().Quantile(0.99),
 			SoCWatts:        snaps[i].AveragePower(power.Package),
@@ -680,6 +804,7 @@ func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
 		out.Servers = append(out.Servers, ss)
 		out.Served += ss.Served
 		out.Dropped += ss.Dropped
+		out.Drains += ss.Drains
 		out.SoCWatts += ss.SoCWatts
 		out.DRAMWatts += ss.DRAMWatts
 		out.TotalWatts += ss.TotalWatts

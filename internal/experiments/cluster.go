@@ -73,7 +73,11 @@ func runFleet(opt Options, n int, pol cluster.Policy, specFn func() workload.Spe
 	return ClusterPoint{
 		Servers: n,
 		Policy:  pol.String(),
-		Fleet:   measureFleet(opt, cluster.Flat(n), pol, 0, specFn),
+		Fleet: measureFleet(opt, cluster.Config{
+			Policy:    pol,
+			P99Target: DefaultClusterP99Target,
+			Topology:  cluster.Flat(n),
+		}, specFn),
 	}
 }
 

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"agilepkgc/internal/sim"
+)
+
+// TestDrainHysteresisShape pins the artifact's structure and its
+// physics: the hold-0 rows are the static baseline, every hold > 0 row
+// reports drains on the members above the packing anchor, and at least
+// one swept hold shows higher PC1A on the drained members at
+// equal-or-better p99 than the static power_aware baseline — the
+// acceptance criterion of the experiment.
+func TestDrainHysteresisShape(t *testing.T) {
+	opt := QuickOptions()
+	res, err := DrainHysteresis(opt, DefaultDrainHolds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(DefaultDrainPolicies) * len(DefaultDrainHolds); len(res.Points) != want {
+		t.Fatalf("want %d points, got %d", want, len(res.Points))
+	}
+	var base *DrainPoint
+	for i := range res.Points {
+		p := &res.Points[i]
+		if p.HoldUS == 0 {
+			if p.Fleet.Drains != 0 {
+				t.Errorf("%s hold 0 reports %d drains; baseline must be controller-free",
+					p.Policy, p.Fleet.Drains)
+			}
+			if p.Policy == "power_aware" {
+				base = p
+			}
+			continue
+		}
+		if p.Fleet.Drains == 0 {
+			t.Errorf("%s hold %g drained nothing", p.Policy, p.HoldUS)
+		}
+		if p.Fleet.Servers[0].Drains != 0 {
+			t.Errorf("%s hold %g drained server 0", p.Policy, p.HoldUS)
+		}
+	}
+	if base == nil {
+		t.Fatal("no static power_aware baseline point")
+	}
+	// The static frontier: the highest-indexed server the baseline
+	// routed to, whose idle periods the flapping keeps short.
+	frontier := -1
+	for _, ss := range base.Fleet.Servers {
+		if ss.Routed > 0 {
+			frontier = ss.Index
+		}
+	}
+	if frontier < 1 || base.Fleet.Servers[frontier].PC1AResidency == nil {
+		t.Fatalf("degenerate baseline: frontier server %d", frontier)
+	}
+	won := false
+	for _, p := range res.Points {
+		if p.HoldUS == 0 {
+			continue
+		}
+		mean, _, ok := p.drainedPC1A()
+		if ok && p.Fleet.P99Latency <= base.Fleet.P99Latency &&
+			mean > *base.Fleet.Servers[frontier].PC1AResidency {
+			won = true
+		}
+	}
+	if !won {
+		t.Error("no swept hold achieved higher drained-member PC1A at equal-or-better p99 than the static baseline")
+	}
+}
+
+// TestDrainHysteresisSerialParallelIdentical extends the §2 determinism
+// contract to the controller experiment: the report must not depend on
+// the parallelism setting, even with drain holds and live controllers
+// in every point.
+func TestDrainHysteresisSerialParallelIdentical(t *testing.T) {
+	opt := QuickOptions()
+	opt.Duration /= 5
+	serial, parallel := opt, opt
+	serial.Parallelism = 1
+	parallel.Parallelism = 8
+	sr, err := DrainHysteresis(serial, DefaultDrainHolds[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := DrainHysteresis(parallel, DefaultDrainHolds[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Report() != pr.Report() {
+		t.Error("drain-hysteresis depends on parallelism")
+	}
+}
+
+func TestDrainHysteresisRejectsBadHolds(t *testing.T) {
+	if _, err := DrainHysteresis(QuickOptions(), nil); err == nil {
+		t.Error("empty hold list accepted")
+	}
+	if _, err := DrainHysteresis(QuickOptions(), []sim.Duration{-sim.Microsecond}); err == nil {
+		t.Error("negative hold accepted")
+	}
+}
+
+// TestDrainHysteresisCSVPropagatesWriterErrors fails the writer at
+// every prefix of the drain CSV (header, aggregate rows, per-server
+// rows) — no failure point may produce a silent short file.
+func TestDrainHysteresisCSVPropagatesWriterErrors(t *testing.T) {
+	opt := QuickOptions()
+	opt.Duration /= 10
+	res, err := DrainHysteresis(opt, DefaultDrainHolds[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok strings.Builder
+	if err := res.WriteCSV(&ok); err != nil {
+		t.Fatal(err)
+	}
+	cw := &writeCounter{}
+	if err := res.WriteCSV(cw); err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + 2*(1+8); cw.writes < want { // header + 2 points × (aggregate + 8 servers)
+		t.Fatalf("expected at least %d writes, got %d", want, cw.writes)
+	}
+	sentinel := errors.New("disk full")
+	for n := 0; n < cw.writes; n++ {
+		if err := res.WriteCSV(&failAfter{n: n, err: sentinel}); !errors.Is(err, sentinel) {
+			t.Errorf("failure after %d writes was swallowed: got %v", n, err)
+		}
+	}
+}

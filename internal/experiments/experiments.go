@@ -34,9 +34,10 @@
 //	Sensitivity    — technique ablations, PLL policy, APMU clock, FIVR slew
 //	Batching       — epoch-aligned dispatch extension (Sec. 8)
 //	Remote         — PC1A erosion under peer-socket UPI traffic
-//	ClusterScaling — fleet watts/latency vs size at fixed aggregate QPS
-//	ClusterPolicy  — routing policies head-to-head on a bursty fleet
-//	RackPacking    — rack_affinity vs power_aware across rack shapes
+//	ClusterScaling  — fleet watts/latency vs size at fixed aggregate QPS
+//	ClusterPolicy   — routing policies head-to-head on a bursty fleet
+//	RackPacking     — rack_affinity vs power_aware across rack shapes
+//	DrainHysteresis — hysteretic drain hold sweep on the cap policies
 package experiments
 
 import (

@@ -56,24 +56,20 @@ func init() {
 		func(o Options) (Result, error) { return RackPacking(o, DefaultRackTopologies) })
 }
 
-// measureFleet builds and measures one fleet of default CPC1A machines
-// shaped by topo. specFn builds the workload per call: arrival processes
-// (MMPP2) carry mutable phase state, so concurrently-running fleets must
-// never share one spec value.
-func measureFleet(opt Options, topo cluster.Topology, pol cluster.Policy, tor sim.Duration, specFn func() workload.Spec) cluster.Measurement {
-	members := make([]cluster.MemberConfig, topo.Servers())
+// measureFleet builds and measures one fleet of default CPC1A machines:
+// cfg carries everything but the members, which are filled in from the
+// topology (Flat(n) for unracked fleets). specFn builds the workload per
+// call: arrival processes (MMPP2) carry mutable phase state, so
+// concurrently-running fleets must never share one spec value.
+func measureFleet(opt Options, cfg cluster.Config, specFn func() workload.Spec) cluster.Measurement {
+	members := make([]cluster.MemberConfig, cfg.Topology.Servers())
 	for i := range members {
 		scfg := server.DefaultConfig()
 		scfg.Seed = opt.Seed
 		members[i] = cluster.MemberConfig{SoC: soc.DefaultConfig(soc.CPC1A), Server: scfg}
 	}
-	fl, err := cluster.New(cluster.Config{
-		Policy:     pol,
-		P99Target:  DefaultClusterP99Target,
-		Topology:   topo,
-		TorLatency: tor,
-		Members:    members,
-	}, specFn(), opt.Seed)
+	cfg.Members = members
+	fl, err := cluster.New(cfg, specFn(), opt.Seed)
 	if err != nil {
 		// All inputs are compile-time constants; an error is a bug.
 		panic(err)
@@ -152,7 +148,12 @@ func RackPacking(opt Options, topos []cluster.Topology) (*RackPackingResult, err
 			Racks:          p.topo.Racks,
 			ServersPerRack: p.topo.ServersPerRack,
 			Policy:         p.pol.String(),
-			Fleet:          measureFleet(opt, p.topo, p.pol, DefaultRackTorLatency, specFn),
+			Fleet: measureFleet(opt, cluster.Config{
+				Policy:     p.pol,
+				P99Target:  DefaultClusterP99Target,
+				Topology:   p.topo,
+				TorLatency: DefaultRackTorLatency,
+			}, specFn),
 		}
 	})
 	return res, nil

@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func drainScenario() Scenario {
+	return Scenario{
+		Name:     "drain",
+		Config:   "CPC1A",
+		Workload: Workload{Service: "memcached-bursty", QPS: 300000, Burstiness: 8},
+		Cluster: &Cluster{
+			Servers: 4, Racks: 2, TorLatencyUS: 5,
+			Policy: "power_aware", P99TargetUS: 300,
+		},
+	}
+}
+
+// TestDrainFeedbackZeroParity is the tentpole's acceptance parity lock
+// at the scenario layer: drain_hold_us = 0 plus feedback_epoch_us = 0
+// must render byte-identical reports and CSV to a scenario that never
+// mentions the balancer-dynamics fields — i.e. to the static-cap fleet
+// the layer shipped with.
+func TestDrainFeedbackZeroParity(t *testing.T) {
+	static := drainScenario()
+	zeroed := drainScenario()
+	zeroed.Cluster.DrainHoldUS = 0
+	zeroed.Cluster.FeedbackEpochUS = 0
+
+	opt := quickOpt()
+	sRep, sCSV := runArtifacts(t, static, opt)
+	zRep, zCSV := runArtifacts(t, zeroed, opt)
+	if sRep != zRep {
+		t.Errorf("zero-valued dynamics fields changed the report:\nstatic:\n%s\nzeroed:\n%s", sRep, zRep)
+	}
+	if sCSV != zCSV {
+		t.Errorf("zero-valued dynamics fields changed the CSV:\nstatic:\n%s\nzeroed:\n%s", sCSV, zCSV)
+	}
+}
+
+// TestDrainHoldSweep drives the new axis end to end: four holds, the
+// hold-0 point byte-equal in aggregate to the static fleet, and the
+// longer holds visibly moving the fleet (the controller must not be a
+// no-op at this operating point).
+func TestDrainHoldSweep(t *testing.T) {
+	sc := drainScenario()
+	sc.Sweep = &Sweep{Axis: AxisDrainHold, Values: []float64{0, 200, 2000}}
+	res, err := sc.Run(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("want 3 hold points, got %d", len(res.Points))
+	}
+	static := drainScenario()
+	sres, err := static.Run(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].P99Latency != sres.Points[0].P99Latency ||
+		res.Points[0].TotalWatts != sres.Points[0].TotalWatts {
+		t.Error("hold-0 sweep point differs from the static fleet")
+	}
+	if res.Points[2].P99Latency == res.Points[0].P99Latency &&
+		res.Points[2].TotalWatts == res.Points[0].TotalWatts {
+		t.Error("2 ms hold changed nothing — controller inert through the scenario layer")
+	}
+}
+
+// TestFeedbackEpochSweep drives the feedback axis: with the static cap
+// overshooting the target, a 1 ms epoch must pull the measured p99
+// down toward it.
+func TestFeedbackEpochSweep(t *testing.T) {
+	sc := drainScenario()
+	sc.Sweep = &Sweep{Axis: AxisFeedbackEpoch, Values: []float64{0, 1000}}
+	res, err := sc.Run(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, on := res.Points[0], res.Points[1]
+	if off.P99Latency <= sc.Cluster.P99TargetUS*1e-6 {
+		t.Skipf("operating point no longer overshoots the target (p99 %.0fus); feedback has nothing to do",
+			off.P99Latency*1e6)
+	}
+	if on.P99Latency >= off.P99Latency {
+		t.Errorf("feedback did not reduce p99: off %.1fus, on %.1fus",
+			off.P99Latency*1e6, on.P99Latency*1e6)
+	}
+}
+
+func TestDrainValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"negative hold", func(s *Scenario) { s.Cluster.DrainHoldUS = -1 }},
+		{"negative epoch", func(s *Scenario) { s.Cluster.FeedbackEpochUS = -1 }},
+		{"hold on round_robin", func(s *Scenario) {
+			s.Cluster.Policy = "round_robin"
+			s.Cluster.DrainHoldUS = 200
+		}},
+		{"epoch on rack_affinity", func(s *Scenario) {
+			s.Cluster.Policy = "rack_affinity"
+			s.Cluster.FeedbackEpochUS = 1000
+		}},
+		{"hold axis on least_loaded", func(s *Scenario) {
+			s.Cluster.Policy = "least_loaded"
+			s.Sweep = &Sweep{Axis: AxisDrainHold, Values: []float64{0, 200}}
+		}},
+		{"epoch axis on round_robin", func(s *Scenario) {
+			s.Cluster.Policy = "round_robin"
+			s.Sweep = &Sweep{Axis: AxisFeedbackEpoch, Values: []float64{0, 1000}}
+		}},
+		{"hold axis without cluster", func(s *Scenario) {
+			s.Cluster = nil
+			s.Sweep = &Sweep{Axis: AxisDrainHold, Values: []float64{0, 200}}
+		}},
+	}
+	for _, c := range cases {
+		sc := drainScenario()
+		c.mut(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+
+	// A policy sweep with at least one cap-based policy may carry the
+	// knobs: the non-cap points ignore them, like they ignore the p99
+	// target.
+	sc := drainScenario()
+	sc.Cluster.Policy = ""
+	sc.Cluster.DrainHoldUS = 200
+	sc.Sweep = &Sweep{Axis: AxisPolicy, Policies: []string{"round_robin", "power_aware"}}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("mixed policy sweep with a hold rejected: %v", err)
+	}
+	if _, err := sc.Run(quickOpt()); err != nil {
+		t.Errorf("mixed policy sweep with a hold failed to run: %v", err)
+	}
+}
+
+// TestDrainHoldSweepLabels spot-checks the new axes render like every
+// other numeric cluster axis in reports and CSV.
+func TestDrainHoldSweepLabels(t *testing.T) {
+	sc := drainScenario()
+	sc.Sweep = &Sweep{Axis: AxisDrainHold, Values: []float64{0, 500}}
+	res, err := sc.Run(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if !strings.Contains(rep, "sweeping drain_hold_us") {
+		t.Errorf("report missing axis name:\n%s", rep)
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "\n500,") {
+		t.Errorf("CSV missing the 500us axis row:\n%s", csv.String())
+	}
+}

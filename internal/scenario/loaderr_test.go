@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadReportsSyntaxErrorPosition pins the load-error bugfix: a
+// malformed scenario file must fail with the line and byte offset of
+// the bad byte, not a bare "invalid character" that sends the reader
+// bisecting the file.
+func TestLoadReportsSyntaxErrorPosition(t *testing.T) {
+	// The stray brace is on line 4.
+	bad := `{
+  "name": "typo",
+  "config": "CPC1A",
+  "workload": {{"service": "memcached", "qps": 1000}
+}`
+	_, err := Load(strings.NewReader(bad))
+	if err == nil {
+		t.Fatal("malformed JSON loaded")
+	}
+	for _, want := range []string{"line 4", "byte "} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not carry %q", err, want)
+		}
+	}
+}
+
+// TestLoadReportsTypeErrorPosition does the same for a well-formed file
+// whose field has the wrong JSON type.
+func TestLoadReportsTypeErrorPosition(t *testing.T) {
+	bad := `{
+  "name": "typed",
+  "config": "CPC1A",
+  "workload": {"service": "memcached",
+               "qps": "twenty thousand"}
+}`
+	_, err := Load(strings.NewReader(bad))
+	if err == nil {
+		t.Fatal("mistyped JSON loaded")
+	}
+	for _, want := range []string{"line 5", "column ", "qps"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not carry %q", err, want)
+		}
+	}
+}
+
+// TestLoadErrorsWithoutOffsetsPassThrough: errors that carry no byte
+// offset (unknown fields, trailing data) keep their original text.
+func TestLoadErrorsWithoutOffsetsPassThrough(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"name": "x", "config": "CPC1A", "workload": {"service": "memcached", "qps": 1}, "no_such_field": 1}`))
+	if err == nil {
+		t.Fatal("unknown field loaded")
+	}
+	if !strings.Contains(err.Error(), "no_such_field") {
+		t.Errorf("unknown-field error lost its field name: %q", err)
+	}
+}
+
+// TestLocateJSONErrorColumns pins the line/column arithmetic on a
+// hand-positioned error.
+func TestLocateJSONErrorColumns(t *testing.T) {
+	//            1234567890
+	bad := "{\n  \"a\": !\n}"
+	_, err := Load(strings.NewReader(bad))
+	if err == nil {
+		t.Fatal("malformed JSON loaded")
+	}
+	if !strings.Contains(err.Error(), "line 2, column 8") {
+		t.Errorf("error %q does not point at line 2, column 8", err)
+	}
+}

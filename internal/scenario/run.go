@@ -228,12 +228,15 @@ func runClusterOne(sc Scenario, axisValue float64, axisLabel string, opt experim
 	if r := sc.Cluster.Racks; r >= 1 {
 		topo = cluster.Topology{Racks: r, ServersPerRack: sc.Cluster.Servers / r}
 	}
+	us := func(v float64) sim.Duration { return sim.Duration(v * float64(sim.Microsecond)) }
 	fl, err := cluster.New(cluster.Config{
-		Policy:     pol,
-		P99Target:  sim.Duration(sc.Cluster.P99TargetUS * float64(sim.Microsecond)),
-		Topology:   topo,
-		TorLatency: sim.Duration(sc.Cluster.TorLatencyUS * float64(sim.Microsecond)),
-		Members:    sc.clusterMembers(kind, opt.Seed),
+		Policy:        pol,
+		P99Target:     us(sc.Cluster.P99TargetUS),
+		Topology:      topo,
+		TorLatency:    us(sc.Cluster.TorLatencyUS),
+		DrainHold:     us(sc.Cluster.DrainHoldUS),
+		FeedbackEpoch: us(sc.Cluster.FeedbackEpochUS),
+		Members:       sc.clusterMembers(kind, opt.Seed),
 	}, spec, opt.Seed)
 	if err != nil {
 		// Unreachable after Validate + validateClusterPoint; a panic here

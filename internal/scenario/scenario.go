@@ -39,6 +39,7 @@ package scenario
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -106,6 +107,19 @@ type Cluster struct {
 	// direction by requests routed into a rack other than rack 0.
 	// Setting it requires racks > 1 (or the racks sweep axis).
 	TorLatencyUS float64 `json:"tor_latency_us,omitempty"`
+	// DrainHoldUS is the hysteretic drain hold (µs): once the balancer
+	// drains a server (rack-first under rack_power_aware), it routes
+	// nothing to it until it is empty and this much virtual time
+	// passes. 0 keeps the static PR 4 routing byte for byte. Setting it
+	// (or sweeping it) requires a power_aware/rack_power_aware policy —
+	// on any other policy it would be silently inert.
+	DrainHoldUS float64 `json:"drain_hold_us,omitempty"`
+	// FeedbackEpochUS is the SLA feedback period (µs): every epoch each
+	// server's packing cap is recomputed from its measured window p99
+	// against p99_target_us (multiplicative decrease / additive
+	// increase). 0 keeps the statically derived cap. Same policy
+	// requirement as drain_hold_us.
+	FeedbackEpochUS float64 `json:"feedback_epoch_us,omitempty"`
 	// ServerOverrides refines individual servers on top of the
 	// scenario-level Server overrides, keyed by decimal server index
 	// ("0" … "N-1") — a heterogeneous fleet (one slow machine, one
@@ -213,13 +227,16 @@ const (
 	AxisPolicy         = "policy"
 	AxisRacks          = "racks"
 	AxisTorLatency     = "tor_latency_us"
+	AxisDrainHold      = "drain_hold_us"
+	AxisFeedbackEpoch  = "feedback_epoch_us"
 )
 
 var knownAxes = map[string]bool{
 	AxisQPS: true, AxisUtil: true, AxisLoad: true, AxisBurstiness: true,
 	AxisThreads: true, AxisBatchEpochUS: true, AxisTickHz: true,
 	AxisNetworkLatency: true, AxisServers: true, AxisPolicy: true,
-	AxisRacks: true, AxisTorLatency: true,
+	AxisRacks: true, AxisTorLatency: true, AxisDrainHold: true,
+	AxisFeedbackEpoch: true,
 }
 
 // serverAxes drive server.Config knobs and apply to every service.
@@ -230,6 +247,7 @@ var serverAxes = map[string]bool{
 // clusterAxes drive the cluster block and require one.
 var clusterAxes = map[string]bool{
 	AxisServers: true, AxisPolicy: true, AxisRacks: true, AxisTorLatency: true,
+	AxisDrainHold: true, AxisFeedbackEpoch: true,
 }
 
 // workloadAxes lists which workload-side axes each service actually
@@ -286,6 +304,14 @@ func (s Scenario) at(axis string, v float64) Scenario {
 	case AxisTorLatency:
 		c := *s.Cluster
 		c.TorLatencyUS = v
+		s.Cluster = &c
+	case AxisDrainHold:
+		c := *s.Cluster
+		c.DrainHoldUS = v
+		s.Cluster = &c
+	case AxisFeedbackEpoch:
+		c := *s.Cluster
+		c.FeedbackEpochUS = v
 		s.Cluster = &c
 	case AxisPolicy:
 		c := *s.Cluster
@@ -421,6 +447,21 @@ func (s *Scenario) validateCluster() error {
 	if c.TorLatencyUS < 0 {
 		return fmt.Errorf("scenario %q: negative cluster.tor_latency_us", s.Name)
 	}
+	if c.DrainHoldUS < 0 {
+		return fmt.Errorf("scenario %q: negative cluster.drain_hold_us", s.Name)
+	}
+	if c.FeedbackEpochUS < 0 {
+		return fmt.Errorf("scenario %q: negative cluster.feedback_epoch_us", s.Name)
+	}
+	// The balancer-dynamics knobs only act on the cap-based packing
+	// policies; anywhere else they would be silently inert, like
+	// sweeping an ignored axis.
+	if (c.DrainHoldUS > 0 || c.FeedbackEpochUS > 0) && !capped {
+		return fmt.Errorf("scenario %q: cluster.drain_hold_us/feedback_epoch_us need a power_aware or rack_power_aware policy", s.Name)
+	}
+	if (sweepAxis == AxisDrainHold || sweepAxis == AxisFeedbackEpoch) && !capped {
+		return fmt.Errorf("scenario %q: the %s axis needs a power_aware or rack_power_aware policy", s.Name, sweepAxis)
+	}
 	// A ToR hop with nothing non-local to cross would be silently inert,
 	// like sweeping an ignored axis — reject it up front.
 	if c.TorLatencyUS > 0 && c.Racks <= 1 && sweepAxis != AxisRacks {
@@ -510,7 +551,7 @@ func Load(r io.Reader) ([]Scenario, error) {
 		}
 	}
 	if err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+		return nil, fmt.Errorf("scenario: %w", locateJSONError(data, err))
 	}
 	if dec.More() {
 		return nil, fmt.Errorf("scenario: trailing data after the first value — wrap multiple scenarios in a JSON array")
@@ -521,6 +562,38 @@ func Load(r io.Reader) ([]Scenario, error) {
 		}
 	}
 	return scs, nil
+}
+
+// locateJSONError prefixes decoding errors that carry a byte offset
+// (syntax errors, type mismatches) with the line and column of the
+// failing byte, so a bad edit to an examples/scenarios/*.json file
+// points at the line instead of making the reader bisect the file. The
+// offset is relative to data, which is exactly what the decoder read.
+// Errors without an offset pass through unchanged.
+func locateJSONError(data []byte, err error) error {
+	var off int64
+	var synErr *json.SyntaxError
+	var typeErr *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &synErr):
+		off = synErr.Offset
+	case errors.As(err, &typeErr):
+		off = typeErr.Offset
+	default:
+		return err
+	}
+	if off < 1 || off > int64(len(data)) {
+		return err
+	}
+	// The reported offset counts the bytes consumed up to and including
+	// the failing one, so the failing byte is data[off-1].
+	prefix := data[:off]
+	line := 1 + bytes.Count(prefix, []byte("\n"))
+	col := off - int64(bytes.LastIndexByte(prefix, '\n')) - 1
+	if col < 1 {
+		col = 1
+	}
+	return fmt.Errorf("line %d, column %d (byte %d): %w", line, col, off, err)
 }
 
 // LoadFile reads scenarios from a JSON file.

@@ -105,6 +105,16 @@ func (h *Histogram) AddN(x float64, n uint64) {
 	}
 }
 
+// Reset discards every observation while keeping the bucket layout, so
+// windowed consumers (the cluster layer's per-epoch latency windows)
+// can reuse one histogram instead of allocating ~2k buckets per window.
+func (h *Histogram) Reset() {
+	clear(h.counts)
+	h.under, h.over, h.total = 0, 0, 0
+	h.sum = 0
+	h.exactMin, h.exactMax, h.haveExact = 0, 0, false
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.total }
 

@@ -403,3 +403,30 @@ func TestPropertyQuantileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHistogramReset: a reset histogram must behave exactly like a
+// fresh one — same counts, same quantiles — so windowed consumers can
+// reuse the bucket allocation.
+func TestHistogramReset(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i) * 1e-6)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("reset histogram retains state: count %d sum %g", h.Count(), h.Sum())
+	}
+	fresh := NewLatencyHistogram()
+	for _, x := range []float64{1e-6, 5e-5, 2e-3, 0.5, 20 /* overflow */, 1e-8 /* underflow */} {
+		h.Add(x)
+		fresh.Add(x)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if h.Quantile(q) != fresh.Quantile(q) {
+			t.Errorf("q%.2f: reset %g, fresh %g", q, h.Quantile(q), fresh.Quantile(q))
+		}
+	}
+	if h.Count() != fresh.Count() || h.Min() != fresh.Min() || h.Max() != fresh.Max() {
+		t.Error("reset histogram diverges from a fresh one")
+	}
+}
