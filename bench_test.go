@@ -211,7 +211,7 @@ func BenchmarkArea(b *testing.B) {
 // one engine event per epoch, so Drain/Feedback must stay within a few
 // percent of the static baseline (the BENCH_pr5.json snapshot records
 // the comparison).
-func benchmarkFleetRouting(b *testing.B, hold, epoch sim.Duration) {
+func benchmarkFleetRouting(b *testing.B, hold, epoch sim.Duration, faults cluster.FaultConfig) {
 	b.ReportAllocs()
 	members := make([]cluster.MemberConfig, 8)
 	for i := range members {
@@ -225,6 +225,7 @@ func benchmarkFleetRouting(b *testing.B, hold, epoch sim.Duration) {
 		Topology:      cluster.Flat(8),
 		DrainHold:     hold,
 		FeedbackEpoch: epoch,
+		Faults:        faults,
 		Members:       members,
 	}, workload.MemcachedBursty(300000, 8), 1)
 	if err != nil {
@@ -238,12 +239,28 @@ func benchmarkFleetRouting(b *testing.B, hold, epoch sim.Duration) {
 	b.ReportMetric(float64(fl.Generated())/float64(b.N+1), "req/iter")
 }
 
-func BenchmarkFleetRouting(b *testing.B) { benchmarkFleetRouting(b, 0, 0) }
+// BenchmarkFleetRouting doubles as the disabled-fault-path baseline:
+// the PR 6 route hook is one nil check, so this number must stay within
+// a few percent of the BENCH_pr5.json snapshot.
+func BenchmarkFleetRouting(b *testing.B) { benchmarkFleetRouting(b, 0, 0, cluster.FaultConfig{}) }
 
 func BenchmarkFleetRoutingDrain(b *testing.B) {
-	benchmarkFleetRouting(b, 1000*sim.Microsecond, 0)
+	benchmarkFleetRouting(b, 1000*sim.Microsecond, 0, cluster.FaultConfig{})
 }
 
 func BenchmarkFleetRoutingFeedback(b *testing.B) {
-	benchmarkFleetRouting(b, 1000*sim.Microsecond, 1000*sim.Microsecond)
+	benchmarkFleetRouting(b, 1000*sim.Microsecond, 1000*sim.Microsecond, cluster.FaultConfig{})
+}
+
+// BenchmarkFleetRoutingFaults prices the full fault stack: crash
+// injection, per-request timeout timers, bounded retries and hedging on
+// every routed request.
+func BenchmarkFleetRoutingFaults(b *testing.B) {
+	benchmarkFleetRouting(b, 0, 0, cluster.FaultConfig{
+		MTBF:           20 * sim.Millisecond,
+		MTTR:           2 * sim.Millisecond,
+		RequestTimeout: 2 * sim.Millisecond,
+		MaxRetries:     2,
+		HedgeDelay:     500 * sim.Microsecond,
+	})
 }

@@ -40,7 +40,10 @@
 //	                      topology (ToR hops, per-rack power zones),
 //	                      plus balancer dynamics — a hysteretic drain
 //	                      controller and a p99-driven SLA feedback loop
-//	                      over the packing caps
+//	                      over the packing caps — and fault injection
+//	                      with failure recovery: crashes, brownouts and
+//	                      ToR partitions answered by timeouts, bounded
+//	                      retries, hedged requests and load shedding
 //	internal/trace        C-state residency tracing, idle-period stats,
 //	                      VCD dump
 //	internal/stats        histograms, P² quantiles, distributions, RNG

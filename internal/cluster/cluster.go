@@ -213,6 +213,11 @@ type Config struct {
 	// the static derived cap after the first epoch. Zero keeps the
 	// static cap for the whole run. See drain.go.
 	FeedbackEpoch sim.Duration
+	// Faults configures fault injection (crashes, brownouts, ToR
+	// partitions) and request robustness (timeouts, retries, hedging,
+	// shedding). The zero value disables the whole layer — no state, no
+	// events, byte-identical output. See faults.go and recovery.go.
+	Faults FaultConfig
 	// Members configures each server; the slice index is the server id
 	// routing policies and reports use.
 	Members []MemberConfig
@@ -232,6 +237,23 @@ type member struct {
 	transit int          // routed, still riding the ToR hop
 	routed  uint64
 	dropped uint64
+	// truncated is the subset of dropped that was still actively
+	// draining when Run's cap tripped (engine had pending events) — the
+	// fleet mirror of server.(*Server).TruncatedDrain.
+	truncated uint64
+
+	// Fault-layer state (inert, all zero, without one; see faults.go and
+	// recovery.go).
+	down      bool       // crashed, awaiting repair
+	brown     bool       // browned out: assigned requests run slower
+	cut       bool       // behind a partitioned ToR uplink
+	live      []*attempt // outstanding fault-layer attempts on this member
+	ok        uint64     // winning responses produced
+	failed    uint64     // logical failures attributed to this member
+	retried   uint64     // retry attempts routed here
+	hedged    uint64     // hedged copies routed here
+	crashes   uint64     // crash faults injected
+	brownouts uint64     // brownout faults injected
 
 	// Controller state (inert unless the fleet has one; see drain.go).
 	state   memberState
@@ -259,6 +281,11 @@ type Fleet struct {
 	// is what keeps the zero-configuration fleet byte-identical to the
 	// static-cap wiring.
 	ctrl *controller
+
+	// flt is the fault layer; nil unless Config.Faults enables it, which
+	// keeps the fault-free fleet byte-identical — routing pays exactly
+	// one nil check. See faults.go and recovery.go.
+	flt *faultState
 
 	// testOnRoute, when non-nil, observes every routing decision before
 	// it takes effect — the seam the drain property tests assert
@@ -303,6 +330,9 @@ func New(cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
 	if cfg.FeedbackEpoch < 0 {
 		return nil, fmt.Errorf("cluster: negative FeedbackEpoch")
 	}
+	if err := cfg.Faults.validate(topo); err != nil {
+		return nil, err
+	}
 
 	eng := sim.NewEngine()
 	f := &Fleet{eng: eng, cfg: cfg, topo: topo, spec: spec}
@@ -332,6 +362,7 @@ func New(cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
 		f.byRack[rack] = append(f.byRack[rack], m)
 	}
 	f.initController()
+	f.initFaults(seed)
 	f.gen = workload.NewGenerator(eng, spec, seed, f.route)
 	return f, nil
 }
@@ -436,6 +467,10 @@ func (f *Fleet) load(m *member) int { return m.srv.InFlight() + m.transit }
 // observed (drain-to-empty detection, feedback latency window) and the
 // drain decision runs after the assignment, on the post-routing state.
 func (f *Fleet) route(req *workload.Request) {
+	if f.flt != nil {
+		f.flt.route(req)
+		return
+	}
 	m := f.pick()
 	if f.testOnRoute != nil {
 		f.testOnRoute(m)
@@ -481,9 +516,17 @@ func (f *Fleet) pick() *member {
 	case RackAffinity, RackPowerAware:
 		return f.rackPick()
 	default: // RoundRobin
-		m := f.members[f.rr%len(f.members)]
-		f.rr++
-		return m
+		// Skip ineligible members (crashed or partitioned — possible only
+		// with a fault layer; without one the first candidate always
+		// wins, preserving the fault-free event sequence exactly).
+		for range f.members {
+			m := f.members[f.rr%len(f.members)]
+			f.rr++
+			if m.eligible() {
+				return m
+			}
+		}
+		return f.leastLoaded()
 	}
 }
 
@@ -609,8 +652,20 @@ func (f *Fleet) Run(d sim.Duration) {
 	for f.inFlightTotal() > 0 && f.eng.Now() < deadline {
 		f.eng.Run(f.eng.Now() + sim.Millisecond)
 	}
+	// Same leaked-vs-truncated discriminator as server.(*Server).Run: a
+	// non-empty event queue means the stragglers are progressing and
+	// merely outlived the cap. The feedback loop's perpetual epoch tick
+	// (and fault-injection timers) keep the queue non-empty, so on those
+	// configurations the discriminator is optimistic, like the
+	// single-server one is under timer ticks.
+	trunc := f.inFlightTotal() > 0 && f.eng.Pending() > 0
 	for _, m := range f.members {
 		m.dropped = uint64(f.load(m))
+		if trunc {
+			m.truncated = m.dropped
+		} else {
+			m.truncated = 0
+		}
 	}
 }
 
@@ -631,6 +686,19 @@ type ServerStats struct {
 	// — and omitted from JSON — without a drain controller, which keeps
 	// controller-free output byte-identical to the static-cap fleet.
 	Drains uint64 `json:"drains,omitempty"`
+	// TruncatedDrain is the subset of Dropped still actively draining
+	// when the fleet drain cap tripped; Dropped − TruncatedDrain leaked
+	// forever. 0 (and omitted) on clean drains.
+	TruncatedDrain uint64 `json:"truncated_drain,omitempty"`
+
+	// Fault-layer counters (see faults.go); all 0 — and omitted — when
+	// the fault layer is off, preserving byte parity.
+	OK        uint64 `json:"ok,omitempty"`
+	Failed    uint64 `json:"failed,omitempty"`
+	Retried   uint64 `json:"retried,omitempty"`
+	Hedged    uint64 `json:"hedged,omitempty"`
+	Crashes   uint64 `json:"crashes,omitempty"`
+	Brownouts uint64 `json:"brownouts,omitempty"`
 
 	// Client-observed latencies of this server's requests, seconds.
 	MeanLatency float64 `json:"mean_latency_s"`
@@ -671,6 +739,13 @@ type RackStats struct {
 	Routed  uint64 `json:"routed"`
 	Served  uint64 `json:"served"`
 	Dropped uint64 `json:"dropped"`
+	// TruncatedDrain and the fault counters sum the members'; Partitions
+	// counts ToR partitions injected on this rack. All 0 (and omitted)
+	// without a fault layer.
+	TruncatedDrain uint64 `json:"truncated_drain,omitempty"`
+	Failed         uint64 `json:"failed,omitempty"`
+	Crashes        uint64 `json:"crashes,omitempty"`
+	Partitions     uint64 `json:"partitions,omitempty"`
 
 	MeanLatency float64 `json:"mean_latency_s"`
 	P99Latency  float64 `json:"p99_latency_s"`
@@ -698,6 +773,30 @@ type Measurement struct {
 	// Drains sums the members' completed hysteretic drains; 0 (and
 	// omitted) without a drain controller.
 	Drains uint64 `json:"drains,omitempty"`
+	// TruncatedDrain sums the members': the subset of Dropped still
+	// actively draining when the drain cap tripped.
+	TruncatedDrain uint64 `json:"truncated_drain,omitempty"`
+
+	// Fault-layer outcome (see faults.go and recovery.go); all 0 (and
+	// omitted) when the fault layer is off. OK+Failed+Shed+still-pending
+	// = Generated: every arrival resolves exactly one way.
+	OK         uint64 `json:"ok,omitempty"`
+	Failed     uint64 `json:"failed,omitempty"`
+	Retried    uint64 `json:"retried,omitempty"`
+	Hedged     uint64 `json:"hedged,omitempty"`
+	Shed       uint64 `json:"shed,omitempty"`
+	Crashes    uint64 `json:"crashes,omitempty"`
+	Brownouts  uint64 `json:"brownouts,omitempty"`
+	Partitions uint64 `json:"partitions,omitempty"`
+	// GoodputQPS is successful responses per second of measured window —
+	// the fault layer's headline rate (throughput that reached clients).
+	GoodputQPS float64 `json:"goodput_qps,omitempty"`
+	// RecoveryP50/P99 are quantiles (seconds) of the client-observed
+	// latency of requests that suffered at least one loss or timeout and
+	// still succeeded — the time to recover from a fault. 0 when no
+	// request suffered.
+	RecoveryP50 float64 `json:"recovery_p50_s,omitempty"`
+	RecoveryP99 float64 `json:"recovery_p99_s,omitempty"`
 
 	// ServedWindow counts only the requests completed inside the
 	// measured window (Served also includes warmup), and Window is that
@@ -754,6 +853,10 @@ func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
 			ent0[i] = m.sys.APMU.Entries(pmu.PC1A)
 		}
 	}
+	var ok0 uint64
+	if f.flt != nil {
+		ok0 = f.flt.ok
+	}
 	t0 := f.eng.Now()
 	f.Run(duration)
 	for _, tr := range tracers {
@@ -780,6 +883,13 @@ func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
 			Served:          m.srv.Served(),
 			Dropped:         m.dropped,
 			Drains:          m.drains,
+			TruncatedDrain:  m.truncated,
+			OK:              m.ok,
+			Failed:          m.failed,
+			Retried:         m.retried,
+			Hedged:          m.hedged,
+			Crashes:         m.crashes,
+			Brownouts:       m.brownouts,
 			MeanLatency:     m.srv.Latencies().Mean(),
 			P99Latency:      m.srv.Latencies().Quantile(0.99),
 			SoCWatts:        snaps[i].AveragePower(power.Package),
@@ -805,6 +915,9 @@ func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
 		out.Served += ss.Served
 		out.Dropped += ss.Dropped
 		out.Drains += ss.Drains
+		out.TruncatedDrain += ss.TruncatedDrain
+		out.Crashes += ss.Crashes
+		out.Brownouts += ss.Brownouts
 		out.SoCWatts += ss.SoCWatts
 		out.DRAMWatts += ss.DRAMWatts
 		out.TotalWatts += ss.TotalWatts
@@ -827,6 +940,35 @@ func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
 		pc1aRes /= fn
 		out.PC1AResidency, out.PC1AEntries = &pc1aRes, &pc1aEnt
 	}
+	if fs := f.flt; fs != nil {
+		// The fleet-level counters are authoritative: the per-member
+		// values are attribution detail and can undercount (a failure
+		// with no live member to pin it on, a retry that found nowhere
+		// to go) — fs counts every resolution exactly once.
+		out.OK = fs.ok
+		out.Failed = fs.failed
+		out.Retried = fs.retried
+		out.Hedged = fs.hedged
+		out.Shed = fs.shed
+		for _, n := range fs.partitions {
+			out.Partitions += n
+		}
+		if window > 0 {
+			out.GoodputQPS = float64(fs.ok-ok0) / window.Seconds()
+		}
+		if fs.recovery.Count() > 0 {
+			out.RecoveryP50 = fs.recovery.Quantile(0.50)
+			out.RecoveryP99 = fs.recovery.Quantile(0.99)
+		}
+		// The fleet-level quantiles switch to the client's view: what a
+		// machine measured for a response the client abandoned (or never
+		// got) is not a latency anyone observed. Per-server stats keep
+		// the machine view — that is what each machine did.
+		out.MeanLatency = fs.lat.Mean()
+		out.P50Latency = fs.lat.Quantile(0.50)
+		out.P99Latency = fs.lat.Quantile(0.99)
+		out.P999Latency = fs.lat.Quantile(0.999)
+	}
 	if !f.topo.IsFlat() {
 		out.Racks = f.rackStats(out.Servers)
 	}
@@ -839,6 +981,9 @@ func (f *Fleet) rackStats(servers []ServerStats) []RackStats {
 	hists := make([]*stats.Histogram, f.topo.Racks)
 	for r := range out {
 		out[r] = RackStats{Index: r, Local: r == 0, Servers: len(f.byRack[r])}
+		if f.flt != nil {
+			out[r].Partitions = f.flt.partitions[r]
+		}
 		hists[r] = stats.NewLatencyHistogram()
 	}
 	for i, ss := range servers {
@@ -849,6 +994,9 @@ func (f *Fleet) rackStats(servers []ServerStats) []RackStats {
 		rs.Routed += ss.Routed
 		rs.Served += ss.Served
 		rs.Dropped += ss.Dropped
+		rs.TruncatedDrain += ss.TruncatedDrain
+		rs.Failed += ss.Failed
+		rs.Crashes += ss.Crashes
 		rs.SoCWatts += ss.SoCWatts
 		rs.DRAMWatts += ss.DRAMWatts
 		rs.TotalWatts += ss.TotalWatts

@@ -50,8 +50,10 @@ const (
 	stHeld                        // empty; hold timer running
 )
 
-// eligible reports whether the balancer may route to the member.
-func (m *member) eligible() bool { return m.state == stActive }
+// eligible reports whether the balancer may route to the member:
+// active (not draining or held) and reachable (not crashed, not behind
+// a partitioned ToR — fields that stay false without a fault layer).
+func (m *member) eligible() bool { return m.state == stActive && !m.down && !m.cut }
 
 // maxFeedbackCapFactor bounds the feedback loop's additive increase: a
 // member's cap never grows beyond this multiple of its statically
@@ -143,12 +145,12 @@ func (f *Fleet) maybeDrain() {
 func (f *Fleet) maybeDrainFrontier() {
 	for i := len(f.members) - 1; i > 0; i-- {
 		m := f.members[i]
-		if m.state != stActive {
+		if !m.eligible() {
 			continue
 		}
 		head, anyBelow := 0, false
 		for _, mj := range f.members[:i] {
-			if mj.state != stActive {
+			if !mj.eligible() {
 				continue
 			}
 			anyBelow = true
@@ -175,7 +177,7 @@ func (f *Fleet) maybeDrainWholeRack() bool {
 		rack := f.byRack[r]
 		allActive, load := true, 0
 		for _, m := range rack {
-			if m.state != stActive {
+			if !m.eligible() {
 				allActive = false
 				break
 			}
@@ -187,7 +189,7 @@ func (f *Fleet) maybeDrainWholeRack() bool {
 		head, anyBelow := 0, false
 		for _, lower := range f.byRack[:r] {
 			for _, mj := range lower {
-				if mj.state != stActive {
+				if !mj.eligible() {
 					continue
 				}
 				anyBelow = true

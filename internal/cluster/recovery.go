@@ -1,0 +1,406 @@
+package cluster
+
+// Request robustness for the fault layer (DESIGN.md §8): per-request
+// timeouts with bounded retries and exponential backoff, hedged
+// requests, and explicit load shedding. This is the balancer-side half
+// of faults.go — the machinery that turns injected faults into the
+// production outcomes (Failed/Retried/Hedged/Shed, goodput, time to
+// recover) instead of silent infinite queueing.
+//
+// The layer separates the *logical request* — what the client sent and
+// is waiting on — from its *attempts* — the copies actually submitted
+// to members. A logical request resolves exactly once, as ok, failed or
+// shed; attempts multiply under retries and hedging and each shows up
+// in its member's Routed count, which is why Routed can exceed
+// Generated when the fault layer is active.
+//
+// Lifecycle of a logical request:
+//
+//	arrival ──► (shed?) ──► attempt 1 ──┬─► response wins ──► ok
+//	                  hedge timer ──► attempt 2 ┘
+//	     timeout / crash / partition ──► retry (budget left) ──► ...
+//	                                └─► failed (budget exhausted)
+//
+// Every decision happens at an engine event and scans members in index
+// order; the winner of a hedge race is decided by the engine's
+// deterministic (time, sequence) order, and losers are abandoned by
+// flagging their attempts and cancelling their timers via sim.Event
+// Cancel — never by racing state. Serial and parallel sweeps therefore
+// stay bit-identical with faults enabled.
+
+import (
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/workload"
+)
+
+// shedSlack is the overload threshold: an arrival is shed when the live
+// members' aggregate backlog reaches shedSlack× their aggregate
+// capacity. Past that point queueing delay is already several times the
+// no-load service time and admitting more load only manufactures
+// timeouts, so overload is measured (Shed) rather than simulated as
+// unbounded queueing.
+const shedSlack = 4
+
+// maxTimeoutShift bounds the exponential-backoff exponent so a large
+// MaxRetries cannot shift the timeout past the int64 horizon.
+const maxTimeoutShift = 20
+
+// logicalReq is one client request as the balancer tracks it: the
+// original arrival plus the retry/hedge bookkeeping. It resolves
+// exactly once (done), as a success, a failure, or — before it is ever
+// created — a shed.
+type logicalReq struct {
+	id      uint64
+	arrival sim.Time
+	service sim.Duration
+	conn    int
+	mem     int
+
+	tries       int  // attempts submitted (retries included, hedges not)
+	retriesLeft int  // remaining retry budget
+	hedged      bool // hedged copy submitted
+	suffered    bool // lost an attempt or timed out at least once
+	done        bool // resolved (ok or failed)
+
+	live    []*attempt // outstanding copies (at most 2: primary + hedge)
+	timeout sim.Event  // pending per-attempt timeout
+	hedge   sim.Event  // pending hedge trigger
+}
+
+// attempt is one submitted copy of a logical request, tracked on both
+// the request (live) and the member it went to (member.live, indexed by
+// liveIdx for O(1) detach). A lost attempt's eventual completion inside
+// the machine is ignored — the zombie keeps the machine's power and
+// occupancy honest but produces no client-visible response.
+type attempt struct {
+	lr      *logicalReq
+	m       *member
+	liveIdx int // index in m.live; -1 once detached
+	lost    bool
+}
+
+// route is the fault layer's arrival path, replacing Fleet.route's body
+// when the layer is attached.
+func (fs *faultState) route(req *workload.Request) {
+	if fs.shouldShed() {
+		fs.shed++
+		return
+	}
+	lr := &logicalReq{
+		id:          req.ID,
+		arrival:     fs.f.eng.Now(),
+		service:     req.Service,
+		conn:        req.Conn,
+		mem:         req.MemAccesses,
+		retriesLeft: fs.cfg.MaxRetries,
+	}
+	fs.dispatch(lr)
+	if fs.cfg.HedgeDelay > 0 && !lr.done {
+		lr.hedge = fs.f.eng.Schedule(fs.cfg.HedgeDelay, func() { fs.hedgeFire(lr) })
+	}
+}
+
+// dispatch submits the next attempt of lr and arms its timeout. The
+// k-th attempt waits RequestTimeout·2^(k−1) — the backoff rides on the
+// timeout itself, since the balancer has nothing else to wait for.
+func (fs *faultState) dispatch(lr *logicalReq) {
+	m := fs.pickLive()
+	if m == nil {
+		fs.fail(lr, nil)
+		return
+	}
+	if lr.tries > 0 {
+		m.retried++
+	}
+	lr.tries++
+	fs.submitTo(lr, m)
+	if fs.cfg.RequestTimeout > 0 {
+		d := fs.cfg.RequestTimeout
+		if shift := lr.tries - 1; shift > 0 {
+			if shift > maxTimeoutShift {
+				shift = maxTimeoutShift
+			}
+			if d > maxDuration>>shift {
+				d = maxDuration
+			} else {
+				d <<= sim.Duration(shift)
+			}
+		}
+		lr.timeout.Cancel()
+		lr.timeout = fs.f.eng.Schedule(d, func() { fs.timeoutFire(lr) })
+	}
+}
+
+// pickLive routes an attempt: the configured policy when any member is
+// eligible, otherwise an emergency re-admission of the least-loaded
+// live member — waking a member the drain controller was resting beats
+// failing the request.
+func (fs *faultState) pickLive() *member {
+	for _, m := range fs.f.members {
+		if m.eligible() {
+			return fs.f.pick()
+		}
+	}
+	return fs.pickLiveAvoid(nil)
+}
+
+// pickLiveAvoid returns the least-loaded live member other than avoid
+// (lowest index on ties), preferring eligible members and re-admitting
+// a resting one only when no eligible member exists. Returns nil when
+// every other member is dead or cut — hedging to the same machine is
+// pointless and retrying has nowhere to go.
+func (fs *faultState) pickLiveAvoid(avoid *member) *member {
+	f := fs.f
+	var best *member
+	for _, m := range f.members {
+		if m == avoid || !m.eligible() {
+			continue
+		}
+		if best == nil || f.load(m) < f.load(best) {
+			best = m
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for _, m := range f.members {
+		if m == avoid || !m.alive() {
+			continue
+		}
+		if best == nil || f.load(m) < f.load(best) {
+			best = m
+		}
+	}
+	if best != nil && best.state != stActive {
+		// Emergency re-admission: the hold is void, and the bumped
+		// generation keeps its scheduled expiry from firing later.
+		best.state = stActive
+		best.holdGen++
+	}
+	return best
+}
+
+// submitTo sends one copy of lr to m — the fault-layer mirror of
+// Fleet.route's delivery half, plus attempt tracking and the brownout
+// service-time penalty.
+func (fs *faultState) submitTo(lr *logicalReq, m *member) {
+	f := fs.f
+	if f.testOnRoute != nil {
+		f.testOnRoute(m)
+	}
+	m.routed++
+	at := &attempt{lr: lr, m: m, liveIdx: len(m.live)}
+	m.live = append(m.live, at)
+	lr.live = append(lr.live, at)
+	req := &workload.Request{
+		ID:          lr.id,
+		Arrival:     f.eng.Now(),
+		Service:     lr.service,
+		Conn:        lr.conn,
+		MemAccesses: lr.mem,
+	}
+	if m.brown {
+		req.Service = sim.Duration(float64(req.Service) * fs.cfg.BrownoutFactor)
+	}
+	done := func() { fs.complete(at) }
+	if m.tor > 0 {
+		m.transit++
+		f.eng.Schedule(m.tor, func() {
+			m.transit--
+			if at.lost || lr.done {
+				return
+			}
+			if !m.alive() {
+				// The fault hit while this copy rode the hop; failLive
+				// already catches in-transit attempts, so this is a
+				// defensive backstop, not a known path.
+				fs.detach(at)
+				at.lost = true
+				fs.lose(at)
+				return
+			}
+			m.srv.Submit(req, done)
+		})
+	} else {
+		m.srv.Submit(req, done)
+	}
+	if f.ctrl != nil && f.ctrl.hold > 0 {
+		f.maybeDrain()
+	}
+}
+
+// complete observes one attempt's response leaving its member's NIC.
+// Zombie completions — attempts already lost to a fault, a timeout or a
+// hedge race — still feed the drain controller's empty detection (the
+// machine really did finish work) but produce no client-visible
+// response. The first live completion wins the logical request.
+func (fs *faultState) complete(at *attempt) {
+	f, m, lr := fs.f, at.m, at.lr
+	win := !at.lost && !lr.done
+	if f.ctrl != nil {
+		if m.win != nil && win {
+			// Client-observed latency of the winning response, recorded at
+			// the member that produced it — the signal the feedback loop
+			// packs against.
+			e2e := f.eng.Now() - lr.arrival + m.netLat
+			m.win.Add(e2e.Seconds())
+		}
+		if f.ctrl.hold > 0 && m.state == stDraining && f.load(m) == 0 {
+			f.holdMember(m)
+		}
+	}
+	if !win {
+		return
+	}
+	fs.detach(at)
+	lr.done = true
+	lr.timeout.Cancel()
+	lr.hedge.Cancel()
+	for _, o := range lr.live {
+		if o != at {
+			// The hedge race's loser: abandoned, its response ignored.
+			o.lost = true
+			fs.detach(o)
+		}
+	}
+	lr.live = nil
+	e2e := f.eng.Now() - lr.arrival + m.netLat
+	sec := e2e.Seconds()
+	fs.lat.Add(sec)
+	if lr.suffered {
+		fs.recovery.Add(sec)
+	}
+	m.ok++
+	fs.ok++
+}
+
+// timeoutFire abandons every outstanding copy of lr — their eventual
+// responses are ignored — and retries or fails it.
+func (fs *faultState) timeoutFire(lr *logicalReq) {
+	if lr.done {
+		return
+	}
+	lr.timeout = sim.Event{}
+	lr.suffered = true
+	var last *member
+	for _, at := range lr.live {
+		last = at.m
+		at.lost = true
+		fs.detach(at)
+	}
+	lr.live = lr.live[:0]
+	fs.retryOrFail(lr, last)
+}
+
+// lose handles one attempt lost to a fault (crash, partition): if a
+// hedged copy is still racing the request rides on it; otherwise the
+// request retries or fails at this instant.
+func (fs *faultState) lose(at *attempt) {
+	lr := at.lr
+	if lr.done {
+		return
+	}
+	lr.suffered = true
+	for i, o := range lr.live {
+		if o == at {
+			lr.live = append(lr.live[:i], lr.live[i+1:]...)
+			break
+		}
+	}
+	if len(lr.live) > 0 {
+		return
+	}
+	fs.retryOrFail(lr, at.m)
+}
+
+// retryOrFail spends one retry credit or resolves the request as
+// failed. m attributes the failure to the member whose attempt died
+// last (nil when no attempt was ever submitted).
+func (fs *faultState) retryOrFail(lr *logicalReq, m *member) {
+	if lr.retriesLeft > 0 {
+		lr.retriesLeft--
+		fs.retried++
+		fs.dispatch(lr)
+		return
+	}
+	fs.fail(lr, m)
+}
+
+// fail resolves lr as failed: its retry budget is exhausted (or nowhere
+// live remains to send it).
+func (fs *faultState) fail(lr *logicalReq, m *member) {
+	lr.done = true
+	lr.timeout.Cancel()
+	lr.hedge.Cancel()
+	lr.live = nil
+	fs.failed++
+	if m != nil {
+		m.failed++
+	}
+}
+
+// hedgeFire submits the hedged copy: a second attempt to a different
+// live member, racing the first — whichever response arrives first wins
+// in complete, and the loser is abandoned there.
+func (fs *faultState) hedgeFire(lr *logicalReq) {
+	if lr.done || lr.hedged {
+		return
+	}
+	lr.hedge = sim.Event{}
+	if len(lr.live) == 0 {
+		return // mid-retry; the fresh attempt restarts the race alone
+	}
+	m := fs.pickLiveAvoid(lr.live[0].m)
+	if m == nil {
+		return
+	}
+	lr.hedged = true
+	fs.hedged++
+	m.hedged++
+	fs.submitTo(lr, m)
+}
+
+// detach removes the attempt from its member's live set (swap-remove;
+// order within the set never matters, loss handling iterates a
+// snapshot).
+func (fs *faultState) detach(at *attempt) {
+	i := at.liveIdx
+	if i < 0 {
+		return
+	}
+	live := at.m.live
+	last := len(live) - 1
+	live[i] = live[last]
+	live[i].liveIdx = i
+	live[last] = nil
+	at.m.live = live[:last]
+	at.liveIdx = -1
+}
+
+// shouldShed reports whether this arrival must be dropped at the
+// balancer: no live member exists, or the live members' aggregate
+// backlog has reached shedSlack× their aggregate capacity (each
+// member's capacity is its packing cap or its core count, whichever is
+// larger). Shedding is the fault layer's graceful-degradation valve —
+// without it a long partition turns into unbounded queueing and every
+// admitted request times out anyway.
+func (fs *faultState) shouldShed() bool {
+	f := fs.f
+	liveCap, liveLoad, anyLive := 0, 0, false
+	for _, m := range f.members {
+		if !m.alive() {
+			continue
+		}
+		anyLive = true
+		c := len(m.sys.Cores)
+		if m.cap > c {
+			c = m.cap
+		}
+		liveCap += c
+		liveLoad += f.load(m)
+	}
+	if !anyLive {
+		return true
+	}
+	return liveLoad >= shedSlack*liveCap
+}

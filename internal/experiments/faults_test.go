@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFaultResilienceShape pins the artifact's structure and its
+// physics: the MTBF-0 rows are crash-free, every injected row crashes
+// and recovers (retries fire, goodput stays positive), and the
+// conservation invariant OK + Failed + Shed = Generated holds on every
+// point — the acceptance criterion of the experiment.
+func TestFaultResilienceShape(t *testing.T) {
+	opt := QuickOptions()
+	res, err := FaultResilience(opt, DefaultFaultMTBFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(DefaultFaultPolicies) * len(DefaultFaultMTBFs); len(res.Points) != want {
+		t.Fatalf("want %d points, got %d", want, len(res.Points))
+	}
+	for _, p := range res.Points {
+		if got := p.Fleet.OK + p.Fleet.Failed + p.Fleet.Shed; got != p.Fleet.Generated {
+			t.Errorf("%s mtbf=%g: OK %d + Failed %d + Shed %d = %d, want Generated %d",
+				p.Policy, p.MTBFUS, p.Fleet.OK, p.Fleet.Failed, p.Fleet.Shed, got, p.Fleet.Generated)
+		}
+		if p.Fleet.GoodputQPS <= 0 {
+			t.Errorf("%s mtbf=%g: no goodput", p.Policy, p.MTBFUS)
+		}
+		if p.MTBFUS == 0 {
+			if p.Fleet.Crashes != 0 {
+				t.Errorf("%s baseline crashed %d times", p.Policy, p.Fleet.Crashes)
+			}
+			continue
+		}
+		if p.Fleet.Crashes == 0 {
+			t.Errorf("%s mtbf=%g never crashed", p.Policy, p.MTBFUS)
+		}
+		if p.Fleet.Retried == 0 {
+			t.Errorf("%s mtbf=%g: crashes with a retry budget produced no retries", p.Policy, p.MTBFUS)
+		}
+		if p.Fleet.RecoveryP99 <= 0 {
+			t.Errorf("%s mtbf=%g: no recovery percentile despite crashes", p.Policy, p.MTBFUS)
+		}
+	}
+}
+
+// TestFaultResilienceDeterministicAcrossParallelism locks the
+// serial-vs-parallel bit-identity contract for the fault path: the
+// fault RNG streams hang off each point's own engine, so fan-out must
+// not move a byte.
+func TestFaultResilienceDeterministicAcrossParallelism(t *testing.T) {
+	serial, parallel := QuickOptions(), QuickOptions()
+	parallel.Parallelism = 4
+	a, err := FaultResilience(serial, DefaultFaultMTBFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultResilience(parallel, DefaultFaultMTBFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("serial and parallel fault-resilience results differ")
+	}
+	if a.Report() != b.Report() {
+		t.Error("serial and parallel reports differ")
+	}
+}
+
+// TestFaultResilienceCSV sanity-checks the CSV shape: header plus one
+// aggregate and eight per-server rows per point.
+func TestFaultResilienceCSV(t *testing.T) {
+	opt := QuickOptions()
+	opt.Duration /= 10
+	res, err := FaultResilience(opt, DefaultFaultMTBFs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	perPoint := 1 + DefaultFaultTopology.Servers()
+	if want := 1 + len(res.Points)*perPoint; len(lines) != want {
+		t.Fatalf("want %d CSV lines, got %d", want, len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "policy,mtbf_us,server,rack,") {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+}

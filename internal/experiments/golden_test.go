@@ -47,6 +47,15 @@ func TestGoldenReports(t *testing.T) {
 	if bytes.Equal(got, want) {
 		return
 	}
+	// Drop the full rendering next to the golden so CI can upload it as
+	// an artifact: a lock failure then ships the would-be golden for
+	// local benchstat-style diffing, not just the first divergent line.
+	gotPath := filepath.Join("testdata", "golden_quick.got.txt")
+	if err := os.WriteFile(gotPath, got, 0o644); err != nil {
+		t.Logf("could not write %s: %v", gotPath, err)
+	} else {
+		t.Logf("full divergent report written to %s", gotPath)
+	}
 	gotLines, wantLines := strings.Split(string(got), "\n"), strings.Split(string(want), "\n")
 	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
 		var g, w string

@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadScenario fuzzes the JSON loader: whatever the bytes, Load
+// must return cleanly — no panic — and any error that carries a byte
+// offset must be wrapped with the line/column position
+// (locateJSONError), so a mangled scenario file always points at the
+// failing byte. The seed corpus is every shipped example scenario plus
+// a few shapes the examples don't cover.
+func FuzzLoadScenario(f *testing.F) {
+	examples, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(examples) == 0 {
+		f.Fatal("no example scenarios found for the seed corpus")
+	}
+	for _, path := range examples {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"name":"a"},{"name":"b"}]`))
+	f.Add([]byte(`{"name":"x","config":"CPC1A","workload":{"service":"memcached","qps":1}}{"trailing":1}`))
+	f.Add([]byte(`{"name":"x","config":"CPC1A","workload":{"service":"memcached","qps":"oops"}}`))
+	f.Add([]byte(`{"name":"x","cluster":{"servers":2,"policy":"round_robin","faults":{"mtbf_us":-1}}}`))
+	f.Add([]byte("{\"name\":\n\"unterminated"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scs, err := Load(bytes.NewReader(data))
+		if err != nil {
+			// Offset-carrying decode errors must be located: the wrap
+			// contract is "line L, column C (byte N)" prefixed onto the
+			// original error.
+			var synErr *json.SyntaxError
+			var typeErr *json.UnmarshalTypeError
+			if errors.As(err, &synErr) || errors.As(err, &typeErr) {
+				var off int64
+				if synErr != nil {
+					off = synErr.Offset
+				} else {
+					off = typeErr.Offset
+				}
+				if off >= 1 && off <= int64(len(data)) && !strings.Contains(err.Error(), "line ") {
+					t.Errorf("offset-carrying error not located: %v", err)
+				}
+			}
+			return
+		}
+		// A loaded scenario has passed Validate; re-running it must
+		// agree (Load's contract is "valid or error", never "loaded
+		// but invalid").
+		for i := range scs {
+			if err := scs[i].Validate(); err != nil {
+				t.Errorf("Load returned scenario %d that fails Validate: %v", i, err)
+			}
+		}
+	})
+}

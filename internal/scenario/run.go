@@ -70,6 +70,27 @@ type Point struct {
 	// already is the only zone — which keeps flat output byte-identical
 	// to the pre-topology fleet (TestRackFlatParity).
 	Racks []cluster.RackStats `json:"racks,omitempty"`
+
+	// Fault-layer outcomes (cluster.faults block; see
+	// cluster.Measurement for the semantics — OK + Failed + Shed =
+	// Generated once the fleet drains). All zero, and therefore absent
+	// from the JSON, without a fault layer — the parity contract.
+	OK          uint64  `json:"ok,omitempty"`
+	Failed      uint64  `json:"failed,omitempty"`
+	Retried     uint64  `json:"retried,omitempty"`
+	Hedged      uint64  `json:"hedged,omitempty"`
+	Shed        uint64  `json:"shed,omitempty"`
+	Crashes     uint64  `json:"crashes,omitempty"`
+	Brownouts   uint64  `json:"brownouts,omitempty"`
+	Partitions  uint64  `json:"partitions,omitempty"`
+	GoodputQPS  float64 `json:"goodput_qps,omitempty"`
+	RecoveryP50 float64 `json:"recovery_p50_s,omitempty"`
+	RecoveryP99 float64 `json:"recovery_p99_s,omitempty"`
+
+	// TruncatedDrain is the subset of Dropped still in flight when the
+	// post-run drain gave up (leaked or unreachable work), as opposed
+	// to merely slow; zero on clean runs.
+	TruncatedDrain uint64 `json:"truncated_drain,omitempty"`
 }
 
 // Result is a completed scenario run: the spec that produced it plus one
@@ -236,6 +257,7 @@ func runClusterOne(sc Scenario, axisValue float64, axisLabel string, opt experim
 		TorLatency:    us(sc.Cluster.TorLatencyUS),
 		DrainHold:     us(sc.Cluster.DrainHoldUS),
 		FeedbackEpoch: us(sc.Cluster.FeedbackEpochUS),
+		Faults:        sc.Cluster.Faults.config(),
 		Members:       sc.clusterMembers(kind, opt.Seed),
 	}, spec, opt.Seed)
 	if err != nil {
@@ -265,6 +287,18 @@ func runClusterOne(sc Scenario, axisValue float64, axisLabel string, opt experim
 		AllIdleCensored: m.AllIdleCensored,
 		PC1AResidency:   m.PC1AResidency,
 		PC1AEntries:     m.PC1AEntries,
+		OK:              m.OK,
+		Failed:          m.Failed,
+		Retried:         m.Retried,
+		Hedged:          m.Hedged,
+		Shed:            m.Shed,
+		Crashes:         m.Crashes,
+		Brownouts:       m.Brownouts,
+		Partitions:      m.Partitions,
+		GoodputQPS:      m.GoodputQPS,
+		RecoveryP50:     m.RecoveryP50,
+		RecoveryP99:     m.RecoveryP99,
+		TruncatedDrain:  m.TruncatedDrain,
 	}
 	if sc.Cluster.Servers > 1 {
 		p.Servers = m.Servers
@@ -331,6 +365,7 @@ func runOne(sc Scenario, axisValue float64, opt experiments.Options) Point {
 		CC1Residency:    tr.MeanResidency(cpu.CC1),
 		AllIdle:         tr.AllIdleFraction(),
 		AllIdleCensored: tr.CensoredAllIdleFraction(),
+		TruncatedDrain:  srv.TruncatedDrain(),
 	}
 	if open {
 		p.Workload = spec.Name
@@ -358,6 +393,16 @@ func runOne(sc Scenario, axisValue float64, opt experiments.Options) Point {
 func (r *Result) clusterAnnotated() bool {
 	c := r.Scenario.Cluster
 	return c != nil && (c.Servers > 1 || clusterAxes[r.Axis])
+}
+
+// faultsAnnotated reports whether the rendered output should carry the
+// fault-outcome tables. An absent block — or an all-zero one — renders
+// nothing, so fault-free output keeps its exact byte shape
+// (TestFaultsZeroParity); a fault axis annotates even when the base
+// block is all-zero, since the sweep supplies the non-zero values.
+func (r *Result) faultsAnnotated() bool {
+	c := r.Scenario.Cluster
+	return c != nil && (c.Faults.enabled() || faultAxes[r.Axis])
 }
 
 // fleetDesc names the fleet shape for the report header: rack topology
@@ -487,6 +532,36 @@ func (r *Result) Report() string {
 			[]string{"rack", "active", "routed", "served", "mean", "p99", "zone W", "all-idle", "PC1A res", "dropped"},
 			rrows))
 	}
+
+	// Fault outcomes, one row per point — what the injected failures
+	// cost (failed, shed) and what the robustness mechanisms bought
+	// back (retries, hedges, goodput, time to recover).
+	if r.faultsAnnotated() {
+		b.WriteString("\nfaults:\n")
+		frows := make([][]string, 0, len(r.Points))
+		for _, p := range r.Points {
+			rec := "-"
+			if p.RecoveryP99 > 0 {
+				rec = fmt.Sprintf("%.1fus", p.RecoveryP99*1e6)
+			}
+			frows = append(frows, []string{
+				p.axisCell(),
+				fmt.Sprintf("%.0f", p.GoodputQPS),
+				fmt.Sprintf("%d", p.OK),
+				fmt.Sprintf("%d", p.Failed),
+				fmt.Sprintf("%d", p.Retried),
+				fmt.Sprintf("%d", p.Hedged),
+				fmt.Sprintf("%d", p.Shed),
+				fmt.Sprintf("%d", p.Crashes),
+				fmt.Sprintf("%d", p.Brownouts),
+				fmt.Sprintf("%d", p.Partitions),
+				rec,
+			})
+		}
+		b.WriteString(experiments.RenderTable(
+			[]string{axisHdr, "goodput", "ok", "failed", "retried", "hedged", "shed", "crashes", "brownouts", "partitions", "rec p99"},
+			frows))
+	}
 	return b.String()
 }
 
@@ -533,7 +608,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 		}
 	}
 	if !haveRacks {
-		return nil
+		return r.writeFaultsCSV(w)
 	}
 	if _, err := fmt.Fprintln(w, "\naxis,axis_label,rack,local,servers,active_servers,routed,served,dropped,mean_s,p99_s,soc_w,dram_w,total_w,all_idle,pc1a_residency,pc1a_entries"); err != nil {
 		return err
@@ -555,6 +630,28 @@ func (r *Result) WriteCSV(w io.Writer) error {
 				rs.AllIdle, pc1aRes, pc1aEnt); err != nil {
 				return err
 			}
+		}
+	}
+	return r.writeFaultsCSV(w)
+}
+
+// writeFaultsCSV emits the blank-line-separated fault-outcome table.
+// Nothing is written without an enabled faults block (or a fault
+// axis), so fault-free CSV stays byte-identical to the pre-fault
+// format (TestFaultsZeroParity).
+func (r *Result) writeFaultsCSV(w io.Writer) error {
+	if !r.faultsAnnotated() {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "\naxis,axis_label,goodput_qps,ok,failed,retried,hedged,shed,crashes,brownouts,partitions,recovery_p50_s,recovery_p99_s,truncated_drain"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%g,%s,%g,%d,%d,%d,%d,%d,%d,%d,%d,%g,%g,%d\n",
+			p.Axis, p.AxisLabel, p.GoodputQPS, p.OK, p.Failed, p.Retried, p.Hedged, p.Shed,
+			p.Crashes, p.Brownouts, p.Partitions,
+			p.RecoveryP50, p.RecoveryP99, p.TruncatedDrain); err != nil {
+			return err
 		}
 	}
 	return nil

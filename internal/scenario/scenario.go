@@ -125,6 +125,75 @@ type Cluster struct {
 	// ("0" … "N-1") — a heterogeneous fleet (one slow machine, one
 	// ticky kernel) stays one JSON file.
 	ServerOverrides map[string]Overrides `json:"server_overrides,omitempty"`
+	// Faults, when present and non-zero, enables fault injection and
+	// request robustness (see cluster.FaultConfig). An absent block —
+	// or an all-zero one — keeps the fault-free event sequence byte
+	// for byte.
+	Faults *Faults `json:"faults,omitempty"`
+}
+
+// Faults mirrors cluster.FaultConfig in scenario units (µs). All
+// fields are optional; a zero field disables the mechanism it
+// parameterizes. An all-zero block is equivalent to no block at all
+// (TestFaultsZeroParity locks the output bytes).
+type Faults struct {
+	// MTBFUS is each server's mean time between crashes (µs,
+	// exponential). Non-zero requires mttr_us > 0.
+	MTBFUS float64 `json:"mtbf_us,omitempty"`
+	// MTTRUS is the mean repair time after a crash (µs, exponential).
+	MTTRUS float64 `json:"mttr_us,omitempty"`
+	// BrownoutMTBFUS is each server's mean time between brownouts (µs,
+	// exponential). Non-zero requires brownout_duration_us > 0 and
+	// brownout_factor > 1.
+	BrownoutMTBFUS float64 `json:"brownout_mtbf_us,omitempty"`
+	// BrownoutDurationUS is how long each brownout lasts (µs).
+	BrownoutDurationUS float64 `json:"brownout_duration_us,omitempty"`
+	// BrownoutFactor scales the service time of requests assigned to a
+	// browned-out server (2 = half speed).
+	BrownoutFactor float64 `json:"brownout_factor,omitempty"`
+	// TorPartitionMTBFUS is each non-local rack's mean time between ToR
+	// partitions (µs, exponential). Non-zero requires
+	// tor_partition_duration_us > 0 and racks > 1.
+	TorPartitionMTBFUS float64 `json:"tor_partition_mtbf_us,omitempty"`
+	// TorPartitionDurationUS is how long each partition lasts (µs).
+	TorPartitionDurationUS float64 `json:"tor_partition_duration_us,omitempty"`
+	// RequestTimeoutUS bounds how long the balancer waits for a
+	// response (µs); the k-th attempt waits 2^(k−1) times this.
+	RequestTimeoutUS float64 `json:"request_timeout_us,omitempty"`
+	// MaxRetries bounds how many times a lost or timed-out request is
+	// resubmitted before it counts as failed.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// HedgeDelayUS arms one hedged copy per request after this delay
+	// (µs); the first response wins.
+	HedgeDelayUS float64 `json:"hedge_delay_us,omitempty"`
+}
+
+// enabled mirrors cluster.FaultConfig.Enabled on the JSON block: it
+// reports whether the block would attach the fault layer at all.
+func (f *Faults) enabled() bool {
+	return f != nil && (f.MTBFUS > 0 || f.BrownoutMTBFUS > 0 || f.TorPartitionMTBFUS > 0 ||
+		f.RequestTimeoutUS > 0 || f.MaxRetries > 0 || f.HedgeDelayUS > 0)
+}
+
+// config converts the block to engine units. A nil block is the zero
+// (disabled) configuration.
+func (f *Faults) config() cluster.FaultConfig {
+	if f == nil {
+		return cluster.FaultConfig{}
+	}
+	us := func(v float64) sim.Duration { return sim.Duration(v * float64(sim.Microsecond)) }
+	return cluster.FaultConfig{
+		MTBF:                 us(f.MTBFUS),
+		MTTR:                 us(f.MTTRUS),
+		BrownoutMTBF:         us(f.BrownoutMTBFUS),
+		BrownoutDuration:     us(f.BrownoutDurationUS),
+		BrownoutFactor:       f.BrownoutFactor,
+		TorPartitionMTBF:     us(f.TorPartitionMTBFUS),
+		TorPartitionDuration: us(f.TorPartitionDurationUS),
+		RequestTimeout:       us(f.RequestTimeoutUS),
+		MaxRetries:           f.MaxRetries,
+		HedgeDelay:           us(f.HedgeDelayUS),
+	}
 }
 
 // Workload declares the request stream. Exactly one rate field applies
@@ -229,6 +298,11 @@ const (
 	AxisTorLatency     = "tor_latency_us"
 	AxisDrainHold      = "drain_hold_us"
 	AxisFeedbackEpoch  = "feedback_epoch_us"
+	AxisMTBF           = "mtbf_us"
+	AxisMTTR           = "mttr_us"
+	AxisRequestTimeout = "request_timeout_us"
+	AxisMaxRetries     = "max_retries"
+	AxisHedgeDelay     = "hedge_delay_us"
 )
 
 var knownAxes = map[string]bool{
@@ -236,7 +310,8 @@ var knownAxes = map[string]bool{
 	AxisThreads: true, AxisBatchEpochUS: true, AxisTickHz: true,
 	AxisNetworkLatency: true, AxisServers: true, AxisPolicy: true,
 	AxisRacks: true, AxisTorLatency: true, AxisDrainHold: true,
-	AxisFeedbackEpoch: true,
+	AxisFeedbackEpoch: true, AxisMTBF: true, AxisMTTR: true,
+	AxisRequestTimeout: true, AxisMaxRetries: true, AxisHedgeDelay: true,
 }
 
 // serverAxes drive server.Config knobs and apply to every service.
@@ -247,7 +322,16 @@ var serverAxes = map[string]bool{
 // clusterAxes drive the cluster block and require one.
 var clusterAxes = map[string]bool{
 	AxisServers: true, AxisPolicy: true, AxisRacks: true, AxisTorLatency: true,
-	AxisDrainHold: true, AxisFeedbackEpoch: true,
+	AxisDrainHold: true, AxisFeedbackEpoch: true, AxisMTBF: true, AxisMTTR: true,
+	AxisRequestTimeout: true, AxisMaxRetries: true, AxisHedgeDelay: true,
+}
+
+// faultAxes drive the cluster.faults block and additionally require
+// one — at() writes the value into the block, so an absent block has
+// nowhere to put it.
+var faultAxes = map[string]bool{
+	AxisMTBF: true, AxisMTTR: true, AxisRequestTimeout: true,
+	AxisMaxRetries: true, AxisHedgeDelay: true,
 }
 
 // workloadAxes lists which workload-side axes each service actually
@@ -317,8 +401,30 @@ func (s Scenario) at(axis string, v float64) Scenario {
 		c := *s.Cluster
 		c.Policy = s.Sweep.Policies[int(v)]
 		s.Cluster = &c
+	case AxisMTBF:
+		s.atFaults(func(f *Faults) { f.MTBFUS = v })
+	case AxisMTTR:
+		s.atFaults(func(f *Faults) { f.MTTRUS = v })
+	case AxisRequestTimeout:
+		s.atFaults(func(f *Faults) { f.RequestTimeoutUS = v })
+	case AxisMaxRetries:
+		s.atFaults(func(f *Faults) { f.MaxRetries = int(v) })
+	case AxisHedgeDelay:
+		s.atFaults(func(f *Faults) { f.HedgeDelayUS = v })
 	}
 	return s
+}
+
+// atFaults applies one fault-axis mutation, cloning both the cluster
+// block and its faults block first so applied points never alias the
+// original scenario's blocks (Validate guarantees both exist whenever
+// a fault axis is swept).
+func (s *Scenario) atFaults(mut func(*Faults)) {
+	c := *s.Cluster
+	fc := *c.Faults
+	mut(&fc)
+	c.Faults = &fc
+	s.Cluster = &c
 }
 
 // Validate checks the parts of the scenario that do not depend on axis
@@ -376,7 +482,7 @@ func (s *Scenario) Validate() error {
 			if v < 0 {
 				return fmt.Errorf("scenario %q: negative %s value %g", s.Name, s.Sweep.Axis, v)
 			}
-			if (s.Sweep.Axis == AxisThreads || s.Sweep.Axis == AxisServers || s.Sweep.Axis == AxisRacks) && v != float64(int(v)) {
+			if (s.Sweep.Axis == AxisThreads || s.Sweep.Axis == AxisServers || s.Sweep.Axis == AxisRacks || s.Sweep.Axis == AxisMaxRetries) && v != float64(int(v)) {
 				return fmt.Errorf("scenario %q: %s value %g is not an integer", s.Name, s.Sweep.Axis, v)
 			}
 			if (s.Sweep.Axis == AxisServers || s.Sweep.Axis == AxisRacks) && v < 1 {
@@ -478,6 +584,90 @@ func (s *Scenario) validateCluster() error {
 		if err := ov.validate(); err != nil {
 			return fmt.Errorf("scenario %q: server_overrides[%s]: %w", s.Name, key, err)
 		}
+	}
+	return s.validateFaults(sweepAxis)
+}
+
+// validateFaults checks the cluster.faults block: non-negative knobs,
+// the same coherence rules cluster.FaultConfig enforces at assembly
+// (restated here so a bad file fails at load, not mid-run), and the
+// package's "silently inert knob" rule — a field whose mechanism can
+// never fire is a typo, not a configuration.
+func (s *Scenario) validateFaults(sweepAxis string) error {
+	c := s.Cluster
+	fc := c.Faults
+	if fc == nil {
+		if faultAxes[sweepAxis] {
+			return fmt.Errorf("scenario %q: the %s axis needs a cluster.faults block", s.Name, sweepAxis)
+		}
+		return nil
+	}
+	for name, v := range map[string]float64{
+		"mtbf_us": fc.MTBFUS, "mttr_us": fc.MTTRUS,
+		"brownout_mtbf_us": fc.BrownoutMTBFUS, "brownout_duration_us": fc.BrownoutDurationUS,
+		"brownout_factor":       fc.BrownoutFactor,
+		"tor_partition_mtbf_us": fc.TorPartitionMTBFUS, "tor_partition_duration_us": fc.TorPartitionDurationUS,
+		"request_timeout_us": fc.RequestTimeoutUS, "hedge_delay_us": fc.HedgeDelayUS,
+	} {
+		if v < 0 {
+			return fmt.Errorf("scenario %q: negative cluster.faults.%s", s.Name, name)
+		}
+	}
+	if fc.MaxRetries < 0 {
+		return fmt.Errorf("scenario %q: negative cluster.faults.max_retries", s.Name)
+	}
+	// Crash process: a crash with no repair never ends; a repair time
+	// with no crash process never fires. The mtbf_us axis supplies the
+	// crash side per point, so mttr_us alone is fine under it.
+	if (fc.MTBFUS > 0 || sweepAxis == AxisMTBF) && fc.MTTRUS <= 0 && sweepAxis != AxisMTTR {
+		return fmt.Errorf("scenario %q: cluster.faults.mtbf_us needs mttr_us > 0", s.Name)
+	}
+	if fc.MTTRUS > 0 && fc.MTBFUS <= 0 && sweepAxis != AxisMTBF {
+		return fmt.Errorf("scenario %q: cluster.faults.mttr_us needs mtbf_us > 0 (or the %s axis)", s.Name, AxisMTBF)
+	}
+	if sweepAxis == AxisMTTR {
+		if fc.MTBFUS <= 0 {
+			return fmt.Errorf("scenario %q: the %s axis needs cluster.faults.mtbf_us > 0", s.Name, AxisMTTR)
+		}
+		for _, v := range s.Sweep.Values {
+			if v <= 0 {
+				return fmt.Errorf("scenario %q: %s value %g — a crash with no repair process never ends", s.Name, AxisMTTR, v)
+			}
+		}
+	}
+	// Brownout process: the three fields only act together.
+	if fc.BrownoutMTBFUS > 0 && (fc.BrownoutDurationUS <= 0 || fc.BrownoutFactor <= 1) {
+		return fmt.Errorf("scenario %q: cluster.faults.brownout_mtbf_us needs brownout_duration_us > 0 and brownout_factor > 1", s.Name)
+	}
+	if (fc.BrownoutDurationUS > 0 || fc.BrownoutFactor != 0) && fc.BrownoutMTBFUS <= 0 {
+		return fmt.Errorf("scenario %q: cluster.faults.brownout_duration_us/brownout_factor need brownout_mtbf_us > 0", s.Name)
+	}
+	// Partition process: needs a duration and a ToR to cut.
+	if fc.TorPartitionMTBFUS > 0 {
+		if fc.TorPartitionDurationUS <= 0 {
+			return fmt.Errorf("scenario %q: cluster.faults.tor_partition_mtbf_us needs tor_partition_duration_us > 0", s.Name)
+		}
+		if c.Racks <= 1 && sweepAxis != AxisRacks {
+			return fmt.Errorf("scenario %q: cluster.faults.tor_partition_mtbf_us needs racks > 1 — a flat fleet has no ToR uplink to cut", s.Name)
+		}
+		if sweepAxis == AxisRacks {
+			for _, v := range s.Sweep.Values {
+				if v <= 1 {
+					return fmt.Errorf("scenario %q: racks value %g with ToR partition faults — a flat fleet has no ToR uplink to cut", s.Name, v)
+				}
+			}
+		}
+	}
+	if fc.TorPartitionDurationUS > 0 && fc.TorPartitionMTBFUS <= 0 {
+		return fmt.Errorf("scenario %q: cluster.faults.tor_partition_duration_us needs tor_partition_mtbf_us > 0", s.Name)
+	}
+	// Retries only fire on a timeout or an injected loss; with neither
+	// the budget is inert.
+	injecting := fc.MTBFUS > 0 || fc.BrownoutMTBFUS > 0 || fc.TorPartitionMTBFUS > 0 ||
+		sweepAxis == AxisMTBF
+	if (fc.MaxRetries > 0 || sweepAxis == AxisMaxRetries) &&
+		fc.RequestTimeoutUS <= 0 && sweepAxis != AxisRequestTimeout && !injecting {
+		return fmt.Errorf("scenario %q: cluster.faults.max_retries needs request_timeout_us > 0 or a fault-injection process — nothing would ever retry", s.Name)
 	}
 	return nil
 }

@@ -62,9 +62,10 @@ type Server struct {
 	// Latencies in seconds, client-observed.
 	lat *stats.Histogram
 
-	served   uint64
-	inFlight int
-	dropped  uint64
+	served    uint64
+	inFlight  int
+	dropped   uint64
+	truncated uint64
 
 	batch        []func()
 	batchArmed   bool
@@ -156,6 +157,18 @@ func (s *Server) Run(d sim.Duration) {
 	// complete during a later Run call, so summing across calls would
 	// double-count. At any instant served + dropped == generated.
 	s.dropped = uint64(s.inFlight)
+	// Distinguish "still draining at the cap" from "leaked forever":
+	// if the engine still holds pending events the stragglers are making
+	// progress and merely outlived the cap (truncated); an empty queue
+	// means nothing can ever complete them — a genuine leak. On a ticky
+	// server (TimerTickHz > 0) the tick chain keeps the queue non-empty
+	// forever, so the discriminator is optimistic there: a leak that
+	// coexists with an armed tick chain still reads as truncated.
+	if s.inFlight > 0 && eng.Pending() > 0 {
+		s.truncated = uint64(s.inFlight)
+	} else {
+		s.truncated = 0
+	}
 }
 
 // Dropped reports requests that were still in flight when the most
@@ -164,6 +177,13 @@ func (s *Server) Run(d sim.Duration) {
 // throughput figures exclude these requests. Always 0 on closed-loop
 // servers, which do not drain.
 func (s *Server) Dropped() uint64 { return s.dropped }
+
+// TruncatedDrain reports the subset of Dropped that was still actively
+// draining — the engine had pending events — when the most recent Run
+// call's DrainCap tripped. Dropped − TruncatedDrain is the count leaked
+// forever: requests no remaining event can ever complete. Always 0 when
+// the drain finished (or on closed-loop servers, which do not drain).
+func (s *Server) TruncatedDrain() uint64 { return s.truncated }
 
 // Latencies returns the client-observed latency histogram (seconds).
 func (s *Server) Latencies() *stats.Histogram { return s.lat }

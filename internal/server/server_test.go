@@ -247,6 +247,44 @@ func TestRunSurfacesDroppedRequests(t *testing.T) {
 	}
 }
 
+// TruncatedDrain separates "still draining at the cap" from "leaked
+// forever": a request whose completion event is still queued when the
+// DrainCap trips is truncated, not leaked, and the counter must say so.
+func TestTruncatedDrainDistinguishesSlowFromLeaked(t *testing.T) {
+	spec := workload.Spec{
+		Name:        "glacial",
+		Arrivals:    stats.Poisson{RateV: 10000},
+		Service:     stats.Deterministic{V: 2 * DrainCap.Seconds()}, // outlives the cap
+		Connections: 10,
+		MemAccesses: 1,
+	}
+	sys := soc.New(soc.DefaultConfig(soc.Cshallow))
+	srv := New(sys, DefaultConfig(), spec)
+	srv.Run(sim.Millisecond)
+	if srv.Dropped() == 0 {
+		t.Fatal("drain cap never tripped — test is vacuous")
+	}
+	// The glacial requests' completion events are still pending, so
+	// every dropped request is a truncation, not a leak.
+	if srv.TruncatedDrain() != srv.Dropped() {
+		t.Fatalf("truncated %d != dropped %d: pending completions misread as leaks",
+			srv.TruncatedDrain(), srv.Dropped())
+	}
+}
+
+// A clean drain reports no truncation.
+func TestTruncatedDrainZeroOnCleanRuns(t *testing.T) {
+	sys := soc.New(soc.DefaultConfig(soc.CPC1A))
+	srv := New(sys, DefaultConfig(), workload.Memcached(20000))
+	srv.Run(10 * sim.Millisecond)
+	if srv.Served() != srv.Generated() {
+		t.Fatalf("served %d != generated %d", srv.Served(), srv.Generated())
+	}
+	if srv.TruncatedDrain() != 0 {
+		t.Fatalf("truncated %d on a clean drain", srv.TruncatedDrain())
+	}
+}
+
 // Closed-loop servers have no generator to stop, so Run must advance
 // exactly the requested window and leave draining to the caller.
 func TestClosedLoopRunAdvancesExactly(t *testing.T) {
