@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt lint ci race bench clean
+.PHONY: all build test vet fmt lint ci race bench benchgate clean
 
 all: build test vet
 
@@ -56,11 +56,18 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark suite: benchstat-comparable text in bench.txt plus a
-# machine-readable snapshot (BENCH_pr5.json by default; pass the next
+# machine-readable snapshot (BENCH_pr7.json by default; pass the next
 # PR's name as the second bench.sh argument) recording the perf
 # trajectory.
 bench:
 	scripts/bench.sh
+
+# The alloc-regression gate: reruns the suite into bench-gate.json and
+# fails if any benchmark allocates more per op than the committed
+# BENCH_pr7.json baseline (ns/op drift only warns). CI runs this on
+# every push.
+benchgate:
+	scripts/benchgate.sh
 
 clean:
 	rm -f bench.txt

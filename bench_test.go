@@ -196,9 +196,9 @@ func BenchmarkBatchingExtension(b *testing.B) {
 
 func BenchmarkArea(b *testing.B) {
 	b.ReportAllocs()
-	var r *experiments.AreaResult
+	var r experiments.AreaResult
 	for i := 0; i < b.N; i++ {
-		r = experiments.Area(experiments.DefaultAreaModel())
+		experiments.AreaInto(&r, experiments.DefaultAreaModel())
 	}
 	b.ReportMetric(r.Total*100, "die-area-%")
 }

@@ -12,11 +12,13 @@
 //
 // Flags:
 //
-//	-duration 2s   virtual measurement window per operating point
-//	-seed 1        random seed for all generators
-//	-parallel N    max sweep points simulated concurrently
-//	-csv dir       write per-experiment CSV series into dir
-//	-json dir      write machine-readable JSON results into dir
+//	-duration 2s      virtual measurement window per operating point
+//	-seed 1           random seed for all generators
+//	-parallel N       max sweep points simulated concurrently
+//	-csv dir          write per-experiment CSV series into dir
+//	-json dir         write machine-readable JSON results into dir
+//	-cpuprofile file  write a CPU profile of the run to file
+//	-memprofile file  write a heap profile taken after the run to file
 //
 // The experiment set is self-registering: `apcsim list` is the registry,
 // not a hand-maintained table.
@@ -24,11 +26,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,25 +42,54 @@ import (
 	"agilepkgc/internal/sim"
 )
 
-func main() {
-	duration := flag.Duration("duration", 2*time.Second,
-		"virtual measurement window per operating point")
-	seed := flag.Uint64("seed", 1, "random seed for all generators")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
-		"max sweep points simulated concurrently (1 = serial; results are identical either way)")
-	csvDir := flag.String("csv", "", "directory to write per-experiment CSV series into")
-	jsonDir := flag.String("json", "", "directory to write machine-readable JSON results into")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: apcsim [flags] list | run <experiment>... | scenario <file.json>... | <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: %v all\n", experiments.Names())
-		flag.PrintDefaults()
-	}
-	flag.Parse()
+// errUsage marks a command-line mistake after the usage text has
+// already been printed; main exits 2 for it without repeating the
+// message, matching the old flag.ExitOnError behavior.
+var errUsage = errors.New("usage")
 
-	args := flag.Args()
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "apcsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the whole command against w, so the CI smoke test can
+// drive it in-process (the same pattern as cmd/apctop); only flag
+// parsing stays in the flag package's hands (ContinueOnError, so bad
+// flags surface as an error, not an exit).
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("apcsim", flag.ContinueOnError)
+	fs.SetOutput(w)
+	duration := fs.Duration("duration", 2*time.Second,
+		"virtual measurement window per operating point")
+	seed := fs.Uint64("seed", 1, "random seed for all generators")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"max sweep points simulated concurrently (1 = serial; results are identical either way)")
+	csvDir := fs.String("csv", "", "directory to write per-experiment CSV series into")
+	jsonDir := fs.String("json", "", "directory to write machine-readable JSON results into")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
+	fs.Usage = func() {
+		fmt.Fprintf(w, "usage: apcsim [flags] list | run <experiment>... | scenario <file.json>... | <experiment>...\n")
+		fmt.Fprintf(w, "experiments: %v all\n", experiments.Names())
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// -h printed the usage; that is success, not an error.
+			return nil
+		}
+		return errUsage
+	}
+
+	args = fs.Args()
 	if len(args) == 0 {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errUsage
 	}
 
 	opt := experiments.Options{
@@ -63,38 +97,97 @@ func main() {
 		Seed:        *seed,
 		Parallelism: *parallel,
 	}
-	out := outputs{csvDir: *csvDir, jsonDir: *jsonDir}
+	out := outputs{w: w, csvDir: *csvDir, jsonDir: *jsonDir}
 	if err := out.prepare(); err != nil {
-		fatal(err)
+		return err
+	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
 	}
 
 	switch args[0] {
 	case "list":
 		if len(args) != 1 {
-			flag.Usage()
-			os.Exit(2)
+			stopProfiles()
+			fs.Usage()
+			return errUsage
 		}
-		list()
+		err = list(w)
 	case "run":
 		if len(args) < 2 {
-			flag.Usage()
-			os.Exit(2)
+			stopProfiles()
+			fs.Usage()
+			return errUsage
 		}
-		runExperiments(args[1:], opt, &out)
+		err = runExperiments(w, fs, args[1:], opt, &out)
 	case "scenario":
 		if len(args) < 2 {
-			flag.Usage()
-			os.Exit(2)
+			stopProfiles()
+			fs.Usage()
+			return errUsage
 		}
-		runScenarios(args[1:], opt, &out)
+		err = runScenarios(w, args[1:], opt, &out)
 	default:
 		// Shorthand: `apcsim all`, `apcsim fig7 table1`.
-		runExperiments(args, opt, &out)
+		err = runExperiments(w, fs, args, opt, &out)
 	}
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
+	return err
+}
+
+// startProfiles arms the requested pprof outputs around the actual
+// simulation work and returns the function that finishes them: it stops
+// the CPU profile and, after a final GC so the heap numbers reflect
+// live steady-state memory rather than collectible garbage, snapshots
+// the allocation profile.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		var err error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			err = cpuFile.Close()
+		}
+		if memPath != "" {
+			f, ferr := os.Create(memPath)
+			if ferr != nil {
+				if err == nil {
+					err = ferr
+				}
+				return err
+			}
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+				err = fmt.Errorf("memprofile: %w", werr)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}, nil
 }
 
 // list prints the registry in canonical order.
-func list() {
+func list(w io.Writer) error {
 	width := 0
 	for _, name := range experiments.Names() {
 		if len(name) > width {
@@ -102,44 +195,46 @@ func list() {
 		}
 	}
 	for _, e := range experiments.All() {
-		fmt.Printf("%-*s  %s\n", width, e.Name(), e.Describe())
+		fmt.Fprintf(w, "%-*s  %s\n", width, e.Name(), e.Describe())
 	}
+	return nil
 }
 
 // runExperiments resolves names against the registry and runs each one.
-func runExperiments(names []string, opt experiments.Options, out *outputs) {
+func runExperiments(w io.Writer, fs *flag.FlagSet, names []string, opt experiments.Options, out *outputs) error {
 	if len(names) == 1 && names[0] == "all" {
 		names = experiments.Names()
 	}
 	for _, name := range names {
 		exp, ok := experiments.Lookup(name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "apcsim: unknown experiment %q\n", name)
-			flag.Usage()
-			os.Exit(2)
+			fmt.Fprintf(w, "apcsim: unknown experiment %q\n", name)
+			fs.Usage()
+			return errUsage
 		}
 		start := time.Now()
 		res, err := exp.Run(opt)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Println(res.Report())
-		fmt.Printf("[%s completed in %v wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(w, res.Report())
+		fmt.Fprintf(w, "[%s completed in %v wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
 		if err := out.write(name, opt, res); err != nil {
-			fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // runScenarios loads every file, rejects output-name collisions up
 // front (a later scenario would silently clobber an earlier one's CSV
 // and JSON files), then runs each scenario.
-func runScenarios(files []string, opt experiments.Options, out *outputs) {
+func runScenarios(w io.Writer, files []string, opt experiments.Options, out *outputs) error {
 	var scs []scenario.Scenario
 	for _, path := range files {
 		loaded, err := scenario.LoadFile(path)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		scs = append(scs, loaded...)
 	}
@@ -147,7 +242,7 @@ func runScenarios(files []string, opt experiments.Options, out *outputs) {
 	for _, sc := range scs {
 		name := sanitize(sc.Name)
 		if prev, dup := seen[name]; dup {
-			fatal(fmt.Errorf("scenarios %q and %q would write the same output files (%s.*) — rename one", prev, sc.Name, name))
+			return fmt.Errorf("scenarios %q and %q would write the same output files (%s.*) — rename one", prev, sc.Name, name)
 		}
 		seen[name] = sc.Name
 	}
@@ -155,21 +250,23 @@ func runScenarios(files []string, opt experiments.Options, out *outputs) {
 		start := time.Now()
 		res, err := sc.Run(opt)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(res.Report())
-		fmt.Printf("[%s completed in %v wall time]\n\n", sc.Name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(w, res.Report())
+		fmt.Fprintf(w, "[%s completed in %v wall time]\n\n", sc.Name, time.Since(start).Round(time.Millisecond))
 		// Record the options the scenario actually ran under (its
 		// duration_ms/seed overrides applied), not the CLI defaults.
 		if err := out.write(sanitize(sc.Name), sc.EffectiveOptions(opt), res); err != nil {
-			fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // outputs writes the optional CSV and JSON artifacts next to the text
 // reports.
 type outputs struct {
+	w       io.Writer
 	csvDir  string
 	jsonDir string
 }
@@ -193,7 +290,7 @@ func (o *outputs) write(name string, opt experiments.Options, res experiments.Re
 			if err := writeCSVFile(path, cw); err != nil {
 				return err
 			}
-			fmt.Printf("[wrote %s]\n\n", path)
+			fmt.Fprintf(o.w, "[wrote %s]\n\n", path)
 		}
 	}
 	if o.jsonDir != "" {
@@ -201,7 +298,7 @@ func (o *outputs) write(name string, opt experiments.Options, res experiments.Re
 		if err := writeJSONFile(path, name, opt, res); err != nil {
 			return err
 		}
-		fmt.Printf("[wrote %s]\n\n", path)
+		fmt.Fprintf(o.w, "[wrote %s]\n\n", path)
 	}
 	return nil
 }
@@ -258,9 +355,4 @@ func sanitize(name string) string {
 			return '-'
 		}
 	}, name)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "apcsim: %v\n", err)
-	os.Exit(1)
 }

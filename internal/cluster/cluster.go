@@ -224,17 +224,26 @@ type Config struct {
 }
 
 // member is one server plus the balancer's bookkeeping for it. Policy
-// decisions read the server's own in-flight counter plus the balancer's
-// ToR-transit count (requests routed but not yet delivered); the
-// balancer adds only what the server cannot know: its rack, how many
+// decisions read the balancer's tracked occupancy count (load — requests
+// inside the machine plus requests still riding the ToR hop toward it);
+// the balancer adds only what the server cannot know: its rack, how many
 // arrivals were assigned to it and how many it leaked at drain time.
 type member struct {
 	sys     *soc.System
 	srv     *server.Server
+	idx     int          // position in Fleet.members (tree leaf index)
 	rack    int          // topology rack index
 	tor     sim.Duration // one-way ToR hop (0 on the local rack)
 	cap     int          // packing cap (policy-dependent; see capFor)
+	cores   int          // len(sys.Cores), cached for the shed capacity
 	transit int          // routed, still riding the ToR hop
+	// load tracks srv.InFlight() + transit incrementally (+1 on every
+	// route/submit, −1 when a response leaves the NIC or a transit copy
+	// is dropped at arrival), so policy reads are O(1) instead of asking
+	// the server. agg caches the contribution last folded into the
+	// incremental policy structures (see tree.go).
+	load    int
+	agg     memberAgg
 	routed  uint64
 	dropped uint64
 	// truncated is the subset of dropped that was still actively
@@ -256,12 +265,13 @@ type member struct {
 	brownouts uint64     // brownout faults injected
 
 	// Controller state (inert unless the fleet has one; see drain.go).
-	state   memberState
-	holdGen uint64           // invalidates stale hold-expiry events
-	drains  uint64           // completed drains (entries into the held state)
-	capMax  int              // feedback additive-increase ceiling
-	netLat  sim.Duration     // effective client RTT component (ToR return folded in)
-	win     *stats.Histogram // current-epoch latency window (feedback only)
+	state        memberState
+	holdStart    sim.Time         // when the current hold began (stale-expiry filter)
+	holdExpireFn func()           // preallocated hold-expiry callback (see holdMember)
+	drains       uint64           // completed drains (entries into the held state)
+	capMax       int              // feedback additive-increase ceiling
+	netLat       sim.Duration     // effective client RTT component (ToR return folded in)
+	win          *stats.Histogram // current-epoch latency window (feedback only)
 }
 
 // Fleet is N servers behind one load balancer on one engine.
@@ -276,6 +286,20 @@ type Fleet struct {
 	byRack  [][]*member
 	rr      int
 
+	// Incremental policy structures (tree.go): a segment tree over the
+	// members plus per-rack and fleet-level occupancy counters, kept in
+	// sync by touch, so routing and drain decisions stop rescanning the
+	// member list on every arrival.
+	tree      memberTree
+	rackCnt   []rackCounters
+	aliveCnt  int
+	aliveLoad int // Σ load over alive members
+	aliveCap  int // Σ max(cap, cores) over alive members
+
+	// freeRouted recycles the fault-free path's per-arrival records so
+	// steady-state routing allocates nothing (see routedReq).
+	freeRouted []*routedReq
+
 	// ctrl is the balancer-dynamics controller; nil when both DrainHold
 	// and FeedbackEpoch are zero (or the policy derives no cap), which
 	// is what keeps the zero-configuration fleet byte-identical to the
@@ -287,10 +311,48 @@ type Fleet struct {
 	// one nil check. See faults.go and recovery.go.
 	flt *faultState
 
+	// meas is the instrumentation scratch Measure reuses across calls
+	// and Reset cycles (see MeasureInto).
+	meas measScratch
+
 	// testOnRoute, when non-nil, observes every routing decision before
 	// it takes effect — the seam the drain property tests assert
 	// eligibility invariants through. Always nil outside tests.
 	testOnRoute func(*member)
+}
+
+// measScratch holds the per-member instrumentation buffers of one
+// measurement pass. They are fleet-owned and recycled, so a sweep that
+// reuses a fleet (Reuse) pays for instrumentation storage once, not per
+// point.
+type measScratch struct {
+	tracers []*trace.Tracer
+	snaps   []power.Snapshot
+	res0    []sim.Duration
+	ent0    []uint64
+	served0 []uint64
+	merged  *stats.Histogram
+	rackH   []*stats.Histogram
+}
+
+// grow resizes every per-member buffer to n, reusing capacity.
+func (s *measScratch) grow(n int) {
+	if cap(s.tracers) < n {
+		s.tracers = make([]*trace.Tracer, n)
+		s.snaps = make([]power.Snapshot, n)
+		s.res0 = make([]sim.Duration, n)
+		s.ent0 = make([]uint64, n)
+		s.served0 = make([]uint64, n)
+		return
+	}
+	s.tracers = s.tracers[:n]
+	s.snaps = s.snaps[:n]
+	s.res0 = s.res0[:n]
+	s.ent0 = s.ent0[:n]
+	s.served0 = s.served0[:n]
+	for i := range s.res0 {
+		s.res0[i], s.ent0[i] = 0, 0
+	}
 }
 
 // New assembles a fleet on a fresh engine: every member's SoC and server
@@ -299,44 +361,67 @@ type Fleet struct {
 // open-loop: closed-loop clients bind to a single server's Submit and
 // bypass the balancer entirely.
 func New(cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
+	topo, err := validateConfig(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{eng: sim.NewEngine()}
+	f.build(cfg, topo, spec, seed)
+	return f, nil
+}
+
+// validateConfig rejects incoherent fleet configurations and returns the
+// normalized topology (Flat(n) for the zero value). It is the shared
+// front door of New and Reset.
+func validateConfig(cfg Config, spec workload.Spec) (Topology, error) {
 	if len(cfg.Members) == 0 {
-		return nil, fmt.Errorf("cluster: fleet needs at least one member")
+		return Topology{}, fmt.Errorf("cluster: fleet needs at least one member")
 	}
 	switch cfg.Policy {
 	case RoundRobin, LeastLoaded, RackAffinity:
 	case PowerAware, RackPowerAware:
 		if cfg.P99Target <= 0 {
-			return nil, fmt.Errorf("cluster: %v needs P99Target > 0", cfg.Policy)
+			return Topology{}, fmt.Errorf("cluster: %v needs P99Target > 0", cfg.Policy)
 		}
 	default:
-		return nil, fmt.Errorf("cluster: unknown policy %v", cfg.Policy)
+		return Topology{}, fmt.Errorf("cluster: unknown policy %v", cfg.Policy)
 	}
 	if spec.Arrivals == nil {
-		return nil, fmt.Errorf("cluster: open-loop workload required (spec has no arrival process)")
+		return Topology{}, fmt.Errorf("cluster: open-loop workload required (spec has no arrival process)")
 	}
 	topo := cfg.Topology
 	if topo == (Topology{}) {
 		topo = Flat(len(cfg.Members))
 	}
 	if err := topo.validate(len(cfg.Members)); err != nil {
-		return nil, err
+		return Topology{}, err
 	}
 	if cfg.TorLatency < 0 {
-		return nil, fmt.Errorf("cluster: negative TorLatency")
+		return Topology{}, fmt.Errorf("cluster: negative TorLatency")
 	}
 	if cfg.DrainHold < 0 {
-		return nil, fmt.Errorf("cluster: negative DrainHold")
+		return Topology{}, fmt.Errorf("cluster: negative DrainHold")
 	}
 	if cfg.FeedbackEpoch < 0 {
-		return nil, fmt.Errorf("cluster: negative FeedbackEpoch")
+		return Topology{}, fmt.Errorf("cluster: negative FeedbackEpoch")
 	}
 	if err := cfg.Faults.validate(topo); err != nil {
-		return nil, err
+		return Topology{}, err
 	}
+	return topo, nil
+}
 
-	eng := sim.NewEngine()
-	f := &Fleet{eng: eng, cfg: cfg, topo: topo, spec: spec}
-	f.byRack = make([][]*member, topo.Racks)
+// build assembles (or, on a reset fleet, reassembles) every layer of the
+// fleet on f.eng in exactly New's order — members in index order, then
+// the incremental policy structures, controller, fault layer, and
+// generator — so a rebuilt fleet schedules the identical initial event
+// sequence a fresh one would.
+func (f *Fleet) build(cfg Config, topo Topology, spec workload.Spec, seed uint64) {
+	f.cfg, f.topo, f.spec = cfg, topo, spec
+	fresh := f.members == nil
+	if fresh {
+		f.byRack = make([][]*member, topo.Racks)
+	}
 	for i, mc := range cfg.Members {
 		rack := topo.RackOf(i)
 		var tor sim.Duration
@@ -350,21 +435,102 @@ func New(cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
 		// rackless wiring.
 		eff := mc
 		eff.Server.NetworkLatency += tor
-		m := &member{
-			rack:   rack,
-			tor:    tor,
-			cap:    capFor(cfg.Policy, mc, spec, cfg.P99Target, 2*tor),
-			netLat: eff.Server.NetworkLatency,
+		var m *member
+		if fresh {
+			m = &member{idx: i, rack: rack}
+			f.members = append(f.members, m)
+			f.byRack[rack] = append(f.byRack[rack], m)
+		} else {
+			m = f.members[i]
+			m.reset()
 		}
-		m.sys = soc.NewOnEngine(eff.SoC, eng)
+		m.tor = tor
+		m.cap = capFor(cfg.Policy, mc, spec, cfg.P99Target, 2*tor)
+		m.netLat = eff.Server.NetworkLatency
+		m.sys = soc.NewOnEngine(eff.SoC, f.eng)
 		m.srv = server.NewClosedLoop(m.sys, eff.Server)
-		f.members = append(f.members, m)
-		f.byRack[rack] = append(f.byRack[rack], m)
+		m.cores = len(m.sys.Cores)
 	}
+	f.rr = 0
+	f.ctrl, f.flt = nil, nil
+	f.initTree()
 	f.initController()
 	f.initFaults(seed)
-	f.gen = workload.NewGenerator(eng, spec, seed, f.route)
-	return f, nil
+	if f.gen == nil {
+		f.gen = workload.NewGenerator(f.eng, spec, seed, f.route)
+	} else {
+		f.gen.Reset(spec, seed)
+	}
+}
+
+// reset zeroes a member's per-run state ahead of a rebuild. Everything
+// configuration-derived (tor, cap, netLat, the system and server) is
+// overwritten by build, and the controller fields it leaves alone
+// (holdExpireFn, win) are refreshed by initController.
+func (m *member) reset() {
+	m.transit, m.load = 0, 0
+	m.agg = memberAgg{}
+	m.routed, m.dropped, m.truncated = 0, 0, 0
+	m.down, m.brown, m.cut = false, false, false
+	m.live = m.live[:0]
+	m.ok, m.failed, m.retried, m.hedged, m.crashes, m.brownouts = 0, 0, 0, 0, 0, 0
+	m.state = stActive
+	m.holdStart = 0
+	m.drains = 0
+	m.capMax = 0
+}
+
+// Reset rewinds the fleet to the state New(cfg, spec, seed) would have
+// produced, reusing everything whose shape survives: the engine's event
+// arena and queue storage, the member and rack structures, the segment
+// tree, the pooled per-arrival records, the generator's request pool,
+// and the measurement scratch. Only the topology shape is pinned — cfg
+// must keep the member count and rack layout of the original fleet
+// (policy, targets, per-member configs and fault setup may all change,
+// since every derived value is recomputed) — because the balancer's
+// rack wiring is positional. The per-member SoCs and servers are rebuilt
+// rather than rewound: their device state is deep, and reconstructing
+// them on the reused engine is what the arena makes cheap.
+//
+// A reset fleet is byte-identical to a fresh one
+// (TestFleetResetDeterministic): the engine restarts at time zero with
+// slot numbering matching a fresh engine's, and build reassembles the
+// layers in New's exact order.
+func (f *Fleet) Reset(cfg Config, spec workload.Spec, seed uint64) error {
+	topo, err := validateConfig(cfg, spec)
+	if err != nil {
+		return err
+	}
+	if topo != f.topo || len(cfg.Members) != len(f.members) {
+		return fmt.Errorf("cluster: Reset needs the original topology %v (got %v)", f.topo, topo)
+	}
+	f.eng.Reset()
+	f.build(cfg, topo, spec, seed)
+	return nil
+}
+
+// Reuse caches one fleet across the points of a sweep, resetting it
+// when the next point's shape matches and rebuilding only when it
+// cannot. One Reuse serves one sweep worker — it is not safe for
+// concurrent use — and because Reset is byte-identical to a fresh
+// build, sweeps that reuse fleets stay bit-identical at any
+// parallelism. The zero value is ready.
+type Reuse struct {
+	fl *Fleet
+}
+
+// Fleet returns a fleet for (cfg, spec, seed): the cached one reset in
+// place when the topology shape allows, a newly built one otherwise.
+func (r *Reuse) Fleet(cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
+	if r.fl != nil && r.fl.Reset(cfg, spec, seed) == nil {
+		return r.fl, nil
+	}
+	fl, err := New(cfg, spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	r.fl = fl
+	return fl, nil
 }
 
 // capFor derives the per-server packing cap each policy bins against.
@@ -458,8 +624,53 @@ func powerAwareCap(mc MemberConfig, spec workload.Spec, target sim.Duration, tor
 // load is the balancer's view of a member's occupancy: requests inside
 // the machine plus requests still riding the ToR hop toward it. Without
 // the transit term a remote rack would look idle for a whole hop after
-// every assignment and the balancer would dogpile it.
-func (f *Fleet) load(m *member) int { return m.srv.InFlight() + m.transit }
+// every assignment and the balancer would dogpile it. The count is
+// tracked incrementally on the member (±1 at every route, delivery drop
+// and completion), which TestMemberLoadTracksServer pins against the
+// server's own counter.
+func (f *Fleet) load(m *member) int { return m.load }
+
+// routedReq is the pooled per-arrival record of the fault-free path: its
+// two callbacks (ToR transit delivery, completion) are created once when
+// the record is first allocated and reused for every request it later
+// carries, so steady-state routing schedules only preallocated closures.
+type routedReq struct {
+	f   *Fleet
+	m   *member
+	req *workload.Request
+
+	doneFn    func()
+	transitFn func()
+}
+
+// newRouted takes a record off the free list (or builds one, creating
+// its callbacks) and binds it to this arrival's assignment.
+func (f *Fleet) newRouted(m *member, req *workload.Request) *routedReq {
+	var r *routedReq
+	if n := len(f.freeRouted); n > 0 {
+		r = f.freeRouted[n-1]
+		f.freeRouted = f.freeRouted[:n-1]
+	} else {
+		r = &routedReq{f: f}
+		r.doneFn = func() {
+			f, m, req := r.f, r.m, r.req
+			m.load--
+			f.touch(m)
+			if f.ctrl != nil {
+				f.onComplete(m, req)
+			}
+			r.m, r.req = nil, nil
+			f.freeRouted = append(f.freeRouted, r)
+			f.gen.Release(req)
+		}
+		r.transitFn = func() {
+			r.m.transit--
+			r.m.srv.Submit(r.req, r.doneFn)
+		}
+	}
+	r.m, r.req = m, req
+	return r
+}
 
 // route assigns one arrival to a member according to the policy and
 // delivers it — immediately for local-rack members, one ToR hop later
@@ -476,18 +687,14 @@ func (f *Fleet) route(req *workload.Request) {
 		f.testOnRoute(m)
 	}
 	m.routed++
-	var done func()
-	if f.ctrl != nil {
-		done = func() { f.onComplete(m, req) }
-	}
+	r := f.newRouted(m, req)
+	m.load++
+	f.touch(m)
 	if m.tor > 0 {
 		m.transit++
-		f.eng.Schedule(m.tor, func() {
-			m.transit--
-			m.srv.Submit(req, done)
-		})
+		f.eng.Schedule(m.tor, r.transitFn)
 	} else {
-		m.srv.Submit(req, done)
+		m.srv.Submit(req, r.doneFn)
 	}
 	if f.ctrl != nil && f.ctrl.hold > 0 {
 		f.maybeDrain()
@@ -504,10 +711,8 @@ func (f *Fleet) pick() *member {
 	case LeastLoaded:
 		return f.leastLoaded()
 	case PowerAware:
-		for _, m := range f.members {
-			if m.eligible() && f.load(m) < m.cap {
-				return m
-			}
+		if i := f.tree.firstSpare(0, len(f.members)); i >= 0 {
+			return f.members[i]
 		}
 		// Every server is at its cap: the latency target is not
 		// holdable at this load, so degrade to least_loaded instead of
@@ -540,24 +745,13 @@ func (f *Fleet) pick() *member {
 // so it neither attracts traffic nor offers headroom.
 func (f *Fleet) rackPick() *member {
 	chosen, chosenActive := -1, false
-	for r, rack := range f.byRack {
-		active, spare := false, false
-		for _, m := range rack {
-			if !m.eligible() {
-				continue
-			}
-			if f.load(m) > 0 {
-				active = true
-			}
-			if f.load(m) < m.cap {
-				spare = true
-			}
-		}
-		if !spare {
+	for r := range f.rackCnt {
+		rc := &f.rackCnt[r]
+		if rc.spare == 0 {
 			continue
 		}
-		if chosen == -1 || (active && !chosenActive) {
-			chosen, chosenActive = r, active
+		if chosen == -1 || (rc.active > 0 && !chosenActive) {
+			chosen, chosenActive = r, rc.active > 0
 		}
 		if chosenActive {
 			break // lowest-indexed active rack with headroom is final
@@ -566,19 +760,16 @@ func (f *Fleet) rackPick() *member {
 	if chosen == -1 {
 		return f.leastLoaded()
 	}
-	var idle *member
-	for _, m := range f.byRack[chosen] {
-		if !m.eligible() || f.load(m) >= m.cap {
-			continue
-		}
-		if f.load(m) > 0 {
-			return m
-		}
-		if idle == nil {
-			idle = m
-		}
+	// Within the chosen rack (a contiguous index block): the lowest-
+	// indexed already-active member below its cap, else the lowest-
+	// indexed member with headroom (necessarily idle — an active one
+	// would have matched the first query).
+	lo := chosen * f.topo.ServersPerRack
+	hi := lo + len(f.byRack[chosen])
+	if i := f.tree.firstActSpare(lo, hi); i >= 0 {
+		return f.members[i]
 	}
-	return idle
+	return f.members[f.tree.firstSpare(lo, hi)]
 }
 
 // leastLoaded returns the eligible member with the fewest
@@ -586,21 +777,12 @@ func (f *Fleet) rackPick() *member {
 // member is always eligible: the drain controller never drains server 0
 // (nor rack 0), so the overload fallback cannot violate a hold.
 func (f *Fleet) leastLoaded() *member {
-	var best *member
-	for _, m := range f.members {
-		if !m.eligible() {
-			continue
-		}
-		if best == nil || f.load(m) < f.load(best) {
-			best = m
-		}
+	if root := f.tree.root(); root.eligCnt > 0 {
+		return f.members[root.minIdx]
 	}
-	if best == nil {
-		// Unreachable (server 0 is never drained); defensively fall
-		// back rather than dropping the request.
-		best = f.members[0]
-	}
-	return best
+	// Unreachable (server 0 is never drained); defensively fall back
+	// rather than dropping the request.
+	return f.members[0]
 }
 
 // Engine returns the shared engine all members run on.
@@ -834,16 +1016,31 @@ type Measurement struct {
 // Measure runs the fleet through the standard warmup → instrument →
 // measure sequence the single-server experiments use (warmup first, then
 // tracers and power snapshots attached, then the measured window) and
-// returns the fleet-wide measurement. Call it once per fleet.
+// returns the fleet-wide measurement. Call it at most once per fleet
+// build or Reset — the tracers it attaches stay attached. The returned
+// value's slices are freshly allocated, so callers may retain it across
+// further use of the fleet.
 func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
+	var out Measurement
+	f.MeasureInto(&out, warmup, duration)
+	return out
+}
+
+// MeasureInto is Measure writing into a caller-owned Measurement: out's
+// Servers and Racks backing arrays are reused across calls (everything
+// else in *out is overwritten), and all per-member instrumentation
+// state comes from the fleet's reusable scratch. Callers that retain
+// measurements across sweep points want Measure; callers that consume
+// them point-by-point use this and allocate nothing but the histograms'
+// first growth.
+func (f *Fleet) MeasureInto(out *Measurement, warmup, duration sim.Duration) {
 	f.Run(warmup)
 
 	n := len(f.members)
-	tracers := make([]*trace.Tracer, n)
-	snaps := make([]power.Snapshot, n)
-	res0 := make([]sim.Duration, n)
-	ent0 := make([]uint64, n)
-	served0 := make([]uint64, n)
+	s := &f.meas
+	s.grow(n)
+	tracers, snaps := s.tracers, s.snaps
+	res0, ent0, served0 := s.res0, s.ent0, s.served0
 	for i, m := range f.members {
 		tracers[i] = trace.New(f.eng, m.sys.Cores)
 		snaps[i] = m.sys.Meter.Snapshot()
@@ -864,13 +1061,18 @@ func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
 	}
 	window := f.eng.Now() - t0
 
-	var out Measurement
+	*out = Measurement{Servers: out.Servers[:0], Racks: out.Racks[:0]}
 	out.Generated = f.gen.Generated()
 	out.Window = window
 	for i, m := range f.members {
 		out.ServedWindow += m.srv.Served() - served0[i]
 	}
-	merged := stats.NewLatencyHistogram()
+	if s.merged == nil {
+		s.merged = stats.NewLatencyHistogram()
+	} else {
+		s.merged.Reset()
+	}
+	merged := s.merged
 	haveAPMU := false
 	pc1aRes := 0.0
 	var pc1aEnt uint64
@@ -970,21 +1172,33 @@ func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
 		out.P999Latency = fs.lat.Quantile(0.999)
 	}
 	if !f.topo.IsFlat() {
-		out.Racks = f.rackStats(out.Servers)
+		out.Racks = f.rackStats(out.Servers, out.Racks)
 	}
-	return out
 }
 
-// rackStats folds the per-server stats into per-rack power zones.
-func (f *Fleet) rackStats(servers []ServerStats) []RackStats {
-	out := make([]RackStats, f.topo.Racks)
-	hists := make([]*stats.Histogram, f.topo.Racks)
-	for r := range out {
-		out[r] = RackStats{Index: r, Local: r == 0, Servers: len(f.byRack[r])}
+// rackStats folds the per-server stats into per-rack power zones,
+// reusing the racks slice's capacity and the fleet's per-rack histogram
+// scratch.
+func (f *Fleet) rackStats(servers []ServerStats, racks []RackStats) []RackStats {
+	nr := f.topo.Racks
+	out := racks[:0]
+	s := &f.meas
+	if cap(s.rackH) < nr {
+		s.rackH = make([]*stats.Histogram, nr)
+	} else {
+		s.rackH = s.rackH[:nr]
+	}
+	hists := s.rackH
+	for r := 0; r < nr; r++ {
+		out = append(out, RackStats{Index: r, Local: r == 0, Servers: len(f.byRack[r])})
 		if f.flt != nil {
 			out[r].Partitions = f.flt.partitions[r]
 		}
-		hists[r] = stats.NewLatencyHistogram()
+		if hists[r] == nil {
+			hists[r] = stats.NewLatencyHistogram()
+		} else {
+			hists[r].Reset()
+		}
 	}
 	for i, ss := range servers {
 		rs := &out[ss.Rack]

@@ -76,10 +76,14 @@ type controller struct {
 // policy sweep can carry the fields without invalidating its non-packing
 // points.
 func (f *Fleet) initController() {
-	if f.cfg.Policy != PowerAware && f.cfg.Policy != RackPowerAware {
-		return
-	}
-	if f.cfg.DrainHold == 0 && f.cfg.FeedbackEpoch == 0 {
+	if (f.cfg.Policy != PowerAware && f.cfg.Policy != RackPowerAware) ||
+		(f.cfg.DrainHold == 0 && f.cfg.FeedbackEpoch == 0) {
+		// No controller this build. A previous build (before a
+		// Fleet.Reset) may have left feedback windows behind; drop them
+		// so completions stop recording into them.
+		for _, m := range f.members {
+			m.win = nil
+		}
 		return
 	}
 	f.ctrl = &controller{
@@ -96,7 +100,23 @@ func (f *Fleet) initController() {
 			m.capMax = m.cap * maxFeedbackCapFactor
 		}
 		if f.ctrl.epoch > 0 {
-			m.win = stats.NewLatencyHistogram()
+			// Reuse the window histogram across fleet resets: the bucket
+			// layout is fixed, and ~2k buckets per member per sweep point
+			// is exactly the churn Fleet.Reset exists to avoid.
+			if m.win == nil {
+				m.win = stats.NewLatencyHistogram()
+			} else {
+				m.win.Reset()
+			}
+		} else {
+			m.win = nil
+		}
+		m := m
+		m.holdExpireFn = func() {
+			if m.state == stHeld && f.eng.Now() == m.holdStart+f.ctrl.hold {
+				m.state = stActive
+				f.touch(m)
+			}
 		}
 	}
 	if f.ctrl.epoch > 0 {
@@ -115,7 +135,7 @@ func (f *Fleet) onComplete(m *member, req *workload.Request) {
 		e2e := f.eng.Now() - req.Arrival + m.netLat
 		m.win.Add(e2e.Seconds())
 	}
-	if f.ctrl.hold > 0 && m.state == stDraining && f.load(m) == 0 {
+	if f.ctrl.hold > 0 && m.state == stDraining && m.load == 0 {
 		f.holdMember(m)
 	}
 }
@@ -142,26 +162,17 @@ func (f *Fleet) maybeDrain() {
 // below it have cap headroom for its load. Only the frontier's top is a
 // candidate per arrival, so the active set shrinks one member at a time
 // and always from the top — the mirror image of how the packer grows it.
+// Both the candidate and the headroom sum come from the segment tree
+// (tree.go), turning the per-arrival scan into two O(log n) queries.
 func (f *Fleet) maybeDrainFrontier() {
-	for i := len(f.members) - 1; i > 0; i-- {
-		m := f.members[i]
-		if !m.eligible() {
-			continue
-		}
-		head, anyBelow := 0, false
-		for _, mj := range f.members[:i] {
-			if !mj.eligible() {
-				continue
-			}
-			anyBelow = true
-			if h := mj.cap - f.load(mj); h > 0 {
-				head += h
-			}
-		}
-		if anyBelow && head >= f.load(m) {
-			f.drainMember(m)
-		}
+	i := f.tree.query(1, len(f.members)).maxEligIdx
+	if i < 0 {
 		return
+	}
+	m := f.members[i]
+	below := f.tree.query(0, i)
+	if below.eligCnt > 0 && below.headroom >= int64(m.load) {
+		f.drainMember(m)
 	}
 }
 
@@ -175,30 +186,13 @@ func (f *Fleet) maybeDrainFrontier() {
 func (f *Fleet) maybeDrainWholeRack() bool {
 	for r := len(f.byRack) - 1; r > 0; r-- {
 		rack := f.byRack[r]
-		allActive, load := true, 0
-		for _, m := range rack {
-			if !m.eligible() {
-				allActive = false
-				break
-			}
-			load += f.load(m)
+		if f.rackCnt[r].elig != len(rack) {
+			continue // not all active: skip, like the scan's break did
 		}
-		if !allActive {
-			continue
-		}
-		head, anyBelow := 0, false
-		for _, lower := range f.byRack[:r] {
-			for _, mj := range lower {
-				if !mj.eligible() {
-					continue
-				}
-				anyBelow = true
-				if h := mj.cap - f.load(mj); h > 0 {
-					head += h
-				}
-			}
-		}
-		if anyBelow && head >= load {
+		lo := r * f.topo.ServersPerRack
+		load := f.tree.query(lo, lo+len(rack)).loadSum
+		below := f.tree.query(0, lo)
+		if below.eligCnt > 0 && below.headroom >= load {
 			for _, m := range rack {
 				f.drainMember(m)
 			}
@@ -213,7 +207,8 @@ func (f *Fleet) maybeDrainWholeRack() bool {
 // that is already empty holds immediately.
 func (f *Fleet) drainMember(m *member) {
 	m.state = stDraining
-	if f.load(m) == 0 {
+	f.touch(m)
+	if m.load == 0 {
 		f.holdMember(m)
 	}
 }
@@ -222,19 +217,18 @@ func (f *Fleet) drainMember(m *member) {
 // DrainHold of virtual time the balancer will not route to it, so the
 // idle period it just entered is at least that long — long enough for
 // the package to sink into PC1A instead of flapping at the frontier.
-// The generation counter invalidates the expiry event of any earlier
-// hold, so a member drained again after re-admission cannot be woken by
-// a stale timer.
+// The expiry callback is preallocated per member (initController); the
+// holdStart stamp filters stale expiries, so a member drained again
+// after a crash release or emergency re-admission cannot be woken by an
+// earlier hold's timer (a stale event's fire time no longer equals
+// holdStart + hold; if the re-hold started at the very same instant the
+// two expiries coincide and both are correct).
 func (f *Fleet) holdMember(m *member) {
 	m.state = stHeld
 	m.drains++
-	m.holdGen++
-	gen := m.holdGen
-	f.eng.Schedule(f.ctrl.hold, func() {
-		if m.state == stHeld && m.holdGen == gen {
-			m.state = stActive
-		}
-	})
+	m.holdStart = f.eng.Now()
+	f.touch(m)
+	f.eng.Schedule(f.ctrl.hold, m.holdExpireFn)
 }
 
 // armFeedback schedules the SLA feedback loop: one engine event per
@@ -270,6 +264,7 @@ func (f *Fleet) recomputeCaps() {
 		} else if m.cap < m.capMax {
 			m.cap++
 		}
+		f.touch(m)
 		m.win.Reset()
 	}
 }

@@ -34,8 +34,8 @@ package cluster
 //
 // A crash also interacts with the drain controller: a draining or held
 // member that crashes releases its hold immediately (the surplus
-// decision is void once the machine is gone), and the generation
-// counter keeps the stale hold-expiry event from ever resurrecting it.
+// decision is void once the machine is gone), and the hold-start stamp
+// keeps the stale hold-expiry event from ever resurrecting it.
 
 import (
 	"fmt"
@@ -178,6 +178,12 @@ type faultState struct {
 
 	partitioned []bool   // per-rack: ToR currently cut
 	partitions  []uint64 // per-rack: partition count
+
+	// Record pools (see recovery.go): steady-state fault-layer routing
+	// reuses logical-request and attempt records instead of allocating
+	// per arrival.
+	freeLR []*logicalReq
+	freeAT []*attempt
 }
 
 // expDur draws one exponential duration with the given mean from the
@@ -240,7 +246,7 @@ func (fs *faultState) armCrash(m *member) {
 // crash takes the member down: it is unreachable until repair, every
 // response it owed is lost at this instant (failLive retries or fails
 // each one), and any drain hold is released — the controller's surplus
-// decision is void once the machine is gone, and the bumped generation
+// decision is void once the machine is gone, and the hold-start stamp
 // keeps the already-scheduled hold expiry from firing on the repaired
 // member's next drain.
 func (fs *faultState) crash(m *member) {
@@ -248,8 +254,8 @@ func (fs *faultState) crash(m *member) {
 	m.crashes++
 	if m.state != stActive {
 		m.state = stActive
-		m.holdGen++
 	}
+	fs.f.touch(m)
 	fs.failLive(m)
 	fs.f.eng.Schedule(expDur(fs.crashRNG, fs.cfg.MTTR), func() { fs.repair(m) })
 }
@@ -259,6 +265,7 @@ func (fs *faultState) crash(m *member) {
 // and the next crash is drawn from the same stream.
 func (fs *faultState) repair(m *member) {
 	m.down = false
+	fs.f.touch(m)
 	fs.armCrash(m)
 }
 
@@ -295,6 +302,7 @@ func (fs *faultState) partition(r int) {
 	fs.partitions[r]++
 	for _, m := range fs.f.byRack[r] {
 		m.cut = true
+		fs.f.touch(m)
 		fs.failLive(m)
 	}
 	fs.f.eng.Schedule(fs.cfg.TorPartitionDuration, func() { fs.heal(r) })
@@ -305,6 +313,7 @@ func (fs *faultState) heal(r int) {
 	fs.partitioned[r] = false
 	for _, m := range fs.f.byRack[r] {
 		m.cut = false
+		fs.f.touch(m)
 	}
 	fs.armPartition(r)
 }

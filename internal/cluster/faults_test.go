@@ -118,7 +118,7 @@ func TestCrashNeverRoutedAndRecovers(t *testing.T) {
 
 // TestCrashReleasesDrainHold locks the ISSUE's drain interaction: a
 // held member that crashes releases its hold immediately, and the
-// now-stale hold-expiry event is discarded by the generation counter.
+// now-stale hold-expiry event is discarded by the hold-start stamp.
 func TestCrashReleasesDrainHold(t *testing.T) {
 	const hold = 5 * sim.Millisecond
 	// MTBF far beyond the test horizon: the crash below is injected by
@@ -135,26 +135,27 @@ func TestCrashReleasesDrainHold(t *testing.T) {
 	if m.state != stHeld {
 		t.Fatalf("empty member did not hold (state %d)", m.state)
 	}
-	gen := m.holdGen
+	start := m.holdStart
 
 	// Crash it mid-hold: the hold must be released (state active, so the
-	// repaired member is routable the instant repair lands) and the
-	// pending expiry invalidated.
+	// repaired member is routable the instant repair lands); the pending
+	// expiry is discarded at fire time by the hold-start stamp.
 	fl.eng.Run(fl.eng.Now() + hold/2)
 	fs.crash(m)
 	if m.state != stActive || !m.down {
 		t.Fatalf("crash did not release the hold (state %d, down %v)", m.state, m.down)
 	}
-	if m.holdGen == gen {
-		t.Fatal("crash did not invalidate the pending hold expiry")
-	}
 
 	// Re-drain after the crash (as the controller may) and let the STALE
 	// expiry fire: the member must stay held until its OWN hold elapses.
 	m.down = false
+	fl.touch(m)
 	fl.drainMember(m)
 	if m.state != stHeld {
 		t.Fatalf("re-drain did not hold (state %d)", m.state)
+	}
+	if m.holdStart == start {
+		t.Fatal("re-drain did not restamp the hold start — the stale expiry would fire as genuine")
 	}
 	fl.eng.Run(fl.eng.Now() + hold*3/4) // past the first expiry, before the second
 	if m.state != stHeld {
@@ -396,7 +397,7 @@ func TestRackDroppedAggregation(t *testing.T) {
 	}
 }
 
-// TestStaleHoldExpiryDiscarded covers the generation counter directly:
+// TestStaleHoldExpiryDiscarded covers the stale-expiry filter directly:
 // a member re-admitted and re-drained within one hold must ignore the
 // first hold's expiry event and honor only its own.
 func TestStaleHoldExpiryDiscarded(t *testing.T) {
@@ -412,7 +413,7 @@ func TestStaleHoldExpiryDiscarded(t *testing.T) {
 	// eligible member is left), then an immediate re-drain.
 	fl.eng.Run(fl.eng.Now() + hold/2)
 	m.state = stActive
-	m.holdGen++
+	fl.touch(m)
 	fl.drainMember(m) // second hold; expiry at now+hold
 	if m.state != stHeld {
 		t.Fatalf("re-drain did not hold (state %d)", m.state)

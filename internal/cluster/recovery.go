@@ -48,8 +48,14 @@ const maxTimeoutShift = 20
 // logicalReq is one client request as the balancer tracks it: the
 // original arrival plus the retry/hedge bookkeeping. It resolves
 // exactly once (done), as a success, a failure, or — before it is ever
-// created — a shed.
+// created — a shed. Records are pooled (faultState.freeLR): the timeout
+// and hedge callbacks are created once at record birth, and the record
+// returns to the pool at resolution. Zombie attempts may still point at
+// a recycled record, which is why every late reader guards with at.lost
+// before dereferencing lr.
 type logicalReq struct {
+	fs *faultState
+
 	id      uint64
 	arrival sim.Time
 	service sim.Duration
@@ -65,38 +71,101 @@ type logicalReq struct {
 	live    []*attempt // outstanding copies (at most 2: primary + hedge)
 	timeout sim.Event  // pending per-attempt timeout
 	hedge   sim.Event  // pending hedge trigger
+
+	timeoutFn func() // preallocated: fs.timeoutFire(this)
+	hedgeFn   func() // preallocated: fs.hedgeFire(this)
 }
 
 // attempt is one submitted copy of a logical request, tracked on both
 // the request (live) and the member it went to (member.live, indexed by
 // liveIdx for O(1) detach). A lost attempt's eventual completion inside
 // the machine is ignored — the zombie keeps the machine's power and
-// occupancy honest but produces no client-visible response.
+// occupancy honest but produces no client-visible response. Records are
+// pooled (faultState.freeAT) with their delivery/completion callbacks
+// created once at birth; the submitted request itself is the embedded
+// req value, valid until the record is freed — in complete for every
+// attempt the server saw, or at transit arrival for copies dropped on
+// the hop.
 type attempt struct {
+	fs      *faultState
 	lr      *logicalReq
 	m       *member
 	liveIdx int // index in m.live; -1 once detached
 	lost    bool
+
+	req       workload.Request
+	doneFn    func() // preallocated: fs.complete(this)
+	transitFn func() // preallocated: fs.transitArrive(this)
+}
+
+// newLogical takes a record off the pool (resetting it, keeping its
+// identity-bound callbacks and live backing array) or builds one.
+func (fs *faultState) newLogical() *logicalReq {
+	if n := len(fs.freeLR); n > 0 {
+		lr := fs.freeLR[n-1]
+		fs.freeLR = fs.freeLR[:n-1]
+		*lr = logicalReq{fs: lr.fs, live: lr.live[:0], timeoutFn: lr.timeoutFn, hedgeFn: lr.hedgeFn}
+		return lr
+	}
+	lr := &logicalReq{fs: fs}
+	lr.timeoutFn = func() { lr.fs.timeoutFire(lr) }
+	lr.hedgeFn = func() { lr.fs.hedgeFire(lr) }
+	return lr
+}
+
+// freeLogical recycles a resolved record. Its timers are already
+// cancelled; a caller that still reads lr.done after this returns sees
+// true until some later arrival reuses the record, which cannot happen
+// within the current engine event.
+func (fs *faultState) freeLogical(lr *logicalReq) {
+	fs.freeLR = append(fs.freeLR, lr)
+}
+
+// newAttempt binds a pooled (or fresh) attempt record to one copy of lr
+// aimed at m.
+func (fs *faultState) newAttempt(lr *logicalReq, m *member) *attempt {
+	var at *attempt
+	if n := len(fs.freeAT); n > 0 {
+		at = fs.freeAT[n-1]
+		fs.freeAT = fs.freeAT[:n-1]
+	} else {
+		at = &attempt{fs: fs}
+		at.doneFn = func() { at.fs.complete(at) }
+		at.transitFn = func() { at.fs.transitArrive(at) }
+	}
+	at.lr, at.m, at.lost, at.liveIdx = lr, m, false, -1
+	return at
+}
+
+// freeAttempt recycles an attempt record once nothing can call back
+// into it: after its completion ran, or after its transit delivery was
+// dropped (the one path where completion never fires).
+func (fs *faultState) freeAttempt(at *attempt) {
+	at.lr, at.m = nil, nil
+	fs.freeAT = append(fs.freeAT, at)
 }
 
 // route is the fault layer's arrival path, replacing Fleet.route's body
-// when the layer is attached.
+// when the layer is attached. The generator's request is copied into
+// the logical record and released immediately — the fault layer issues
+// its own per-attempt requests.
 func (fs *faultState) route(req *workload.Request) {
 	if fs.shouldShed() {
 		fs.shed++
+		fs.f.gen.Release(req)
 		return
 	}
-	lr := &logicalReq{
-		id:          req.ID,
-		arrival:     fs.f.eng.Now(),
-		service:     req.Service,
-		conn:        req.Conn,
-		mem:         req.MemAccesses,
-		retriesLeft: fs.cfg.MaxRetries,
-	}
+	lr := fs.newLogical()
+	lr.id = req.ID
+	lr.arrival = fs.f.eng.Now()
+	lr.service = req.Service
+	lr.conn = req.Conn
+	lr.mem = req.MemAccesses
+	lr.retriesLeft = fs.cfg.MaxRetries
+	fs.f.gen.Release(req)
 	fs.dispatch(lr)
 	if fs.cfg.HedgeDelay > 0 && !lr.done {
-		lr.hedge = fs.f.eng.Schedule(fs.cfg.HedgeDelay, func() { fs.hedgeFire(lr) })
+		lr.hedge = fs.f.eng.Schedule(fs.cfg.HedgeDelay, lr.hedgeFn)
 	}
 }
 
@@ -127,7 +196,7 @@ func (fs *faultState) dispatch(lr *logicalReq) {
 			}
 		}
 		lr.timeout.Cancel()
-		lr.timeout = fs.f.eng.Schedule(d, func() { fs.timeoutFire(lr) })
+		lr.timeout = fs.f.eng.Schedule(d, lr.timeoutFn)
 	}
 }
 
@@ -136,10 +205,8 @@ func (fs *faultState) dispatch(lr *logicalReq) {
 // live member — waking a member the drain controller was resting beats
 // failing the request.
 func (fs *faultState) pickLive() *member {
-	for _, m := range fs.f.members {
-		if m.eligible() {
-			return fs.f.pick()
-		}
+	if fs.f.tree.root().eligCnt > 0 {
+		return fs.f.pick()
 	}
 	return fs.pickLiveAvoid(nil)
 }
@@ -172,10 +239,10 @@ func (fs *faultState) pickLiveAvoid(avoid *member) *member {
 		}
 	}
 	if best != nil && best.state != stActive {
-		// Emergency re-admission: the hold is void, and the bumped
-		// generation keeps its scheduled expiry from firing later.
+		// Emergency re-admission: the hold is void; a stale hold expiry
+		// no-ops because any future re-hold stamps a new holdStart.
 		best.state = stActive
-		best.holdGen++
+		fs.f.touch(best)
 	}
 	return best
 }
@@ -189,10 +256,11 @@ func (fs *faultState) submitTo(lr *logicalReq, m *member) {
 		f.testOnRoute(m)
 	}
 	m.routed++
-	at := &attempt{lr: lr, m: m, liveIdx: len(m.live)}
+	at := fs.newAttempt(lr, m)
+	at.liveIdx = len(m.live)
 	m.live = append(m.live, at)
 	lr.live = append(lr.live, at)
-	req := &workload.Request{
+	at.req = workload.Request{
 		ID:          lr.id,
 		Arrival:     f.eng.Now(),
 		Service:     lr.service,
@@ -200,33 +268,49 @@ func (fs *faultState) submitTo(lr *logicalReq, m *member) {
 		MemAccesses: lr.mem,
 	}
 	if m.brown {
-		req.Service = sim.Duration(float64(req.Service) * fs.cfg.BrownoutFactor)
+		at.req.Service = sim.Duration(float64(at.req.Service) * fs.cfg.BrownoutFactor)
 	}
-	done := func() { fs.complete(at) }
+	m.load++
+	f.touch(m)
 	if m.tor > 0 {
 		m.transit++
-		f.eng.Schedule(m.tor, func() {
-			m.transit--
-			if at.lost || lr.done {
-				return
-			}
-			if !m.alive() {
-				// The fault hit while this copy rode the hop; failLive
-				// already catches in-transit attempts, so this is a
-				// defensive backstop, not a known path.
-				fs.detach(at)
-				at.lost = true
-				fs.lose(at)
-				return
-			}
-			m.srv.Submit(req, done)
-		})
+		f.eng.Schedule(m.tor, at.transitFn)
 	} else {
-		m.srv.Submit(req, done)
+		m.srv.Submit(&at.req, at.doneFn)
 	}
 	if f.ctrl != nil && f.ctrl.hold > 0 {
 		f.maybeDrain()
 	}
+}
+
+// transitArrive delivers one attempt at the end of its ToR hop. Copies
+// that lost their race — or whose member died — while riding the hop
+// are never submitted, so their occupancy claim is released and the
+// record freed here (completion will never fire for them).
+func (fs *faultState) transitArrive(at *attempt) {
+	m := at.m
+	m.transit--
+	// at.lost short-circuits before lr is dereferenced: a lost copy's
+	// logical request may already be resolved and recycled.
+	if at.lost || at.lr.done {
+		m.load--
+		fs.f.touch(m)
+		fs.freeAttempt(at)
+		return
+	}
+	if !m.alive() {
+		// The fault hit while this copy rode the hop; failLive already
+		// catches in-transit attempts, so this is a defensive backstop,
+		// not a known path.
+		fs.detach(at)
+		at.lost = true
+		m.load--
+		fs.f.touch(m)
+		fs.lose(at)
+		fs.freeAttempt(at)
+		return
+	}
+	m.srv.Submit(&at.req, at.doneFn)
 }
 
 // complete observes one attempt's response leaving its member's NIC.
@@ -235,7 +319,12 @@ func (fs *faultState) submitTo(lr *logicalReq, m *member) {
 // machine really did finish work) but produce no client-visible
 // response. The first live completion wins the logical request.
 func (fs *faultState) complete(at *attempt) {
-	f, m, lr := fs.f, at.m, at.lr
+	f, m := fs.f, at.m
+	m.load--
+	f.touch(m)
+	// at.lost short-circuits before lr is dereferenced: a zombie's
+	// logical request may already be resolved and recycled.
+	lr := at.lr
 	win := !at.lost && !lr.done
 	if f.ctrl != nil {
 		if m.win != nil && win {
@@ -245,11 +334,12 @@ func (fs *faultState) complete(at *attempt) {
 			e2e := f.eng.Now() - lr.arrival + m.netLat
 			m.win.Add(e2e.Seconds())
 		}
-		if f.ctrl.hold > 0 && m.state == stDraining && f.load(m) == 0 {
+		if f.ctrl.hold > 0 && m.state == stDraining && m.load == 0 {
 			f.holdMember(m)
 		}
 	}
 	if !win {
+		fs.freeAttempt(at)
 		return
 	}
 	fs.detach(at)
@@ -263,7 +353,7 @@ func (fs *faultState) complete(at *attempt) {
 			fs.detach(o)
 		}
 	}
-	lr.live = nil
+	lr.live = lr.live[:0]
 	e2e := f.eng.Now() - lr.arrival + m.netLat
 	sec := e2e.Seconds()
 	fs.lat.Add(sec)
@@ -272,6 +362,8 @@ func (fs *faultState) complete(at *attempt) {
 	}
 	m.ok++
 	fs.ok++
+	fs.freeAttempt(at)
+	fs.freeLogical(lr)
 }
 
 // timeoutFire abandons every outstanding copy of lr — their eventual
@@ -327,16 +419,19 @@ func (fs *faultState) retryOrFail(lr *logicalReq, m *member) {
 }
 
 // fail resolves lr as failed: its retry budget is exhausted (or nowhere
-// live remains to send it).
+// live remains to send it). lr.live is empty on every path here — the
+// callers (timeout, loss, a dispatch that found no member) abandoned or
+// never created the outstanding copies.
 func (fs *faultState) fail(lr *logicalReq, m *member) {
 	lr.done = true
 	lr.timeout.Cancel()
 	lr.hedge.Cancel()
-	lr.live = nil
+	lr.live = lr.live[:0]
 	fs.failed++
 	if m != nil {
 		m.failed++
 	}
+	fs.freeLogical(lr)
 }
 
 // hedgeFire submits the hedged copy: a second attempt to a different
@@ -386,21 +481,8 @@ func (fs *faultState) detach(at *attempt) {
 // admitted request times out anyway.
 func (fs *faultState) shouldShed() bool {
 	f := fs.f
-	liveCap, liveLoad, anyLive := 0, 0, false
-	for _, m := range f.members {
-		if !m.alive() {
-			continue
-		}
-		anyLive = true
-		c := len(m.sys.Cores)
-		if m.cap > c {
-			c = m.cap
-		}
-		liveCap += c
-		liveLoad += f.load(m)
-	}
-	if !anyLive {
+	if f.aliveCnt == 0 {
 		return true
 	}
-	return liveLoad >= shedSlack*liveCap
+	return f.aliveLoad >= shedSlack*f.aliveCap
 }

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/workload"
+)
+
+// resetCases are the configurations the Reset contract is pinned on:
+// every balancer mechanism (packing, racks, drain hysteresis, SLA
+// feedback, fault injection and robustness) appears in at least one.
+var resetCases = []struct {
+	name string
+	cfg  Config
+}{
+	{"flat round_robin", Config{
+		Policy:  RoundRobin,
+		Members: nil, // filled by resetConfig
+	}},
+	{"flat power_aware", Config{
+		Policy:    PowerAware,
+		P99Target: 300 * sim.Microsecond,
+	}},
+	{"racked controller", Config{
+		Policy:        RackPowerAware,
+		P99Target:     300 * sim.Microsecond,
+		Topology:      Topology{Racks: 2, ServersPerRack: 2},
+		TorLatency:    5 * sim.Microsecond,
+		DrainHold:     sim.Millisecond,
+		FeedbackEpoch: sim.Millisecond,
+	}},
+	{"racked faults", Config{
+		Policy:     RackAffinity,
+		Topology:   Topology{Racks: 2, ServersPerRack: 2},
+		TorLatency: 5 * sim.Microsecond,
+		Faults: FaultConfig{
+			MTBF:           20 * sim.Millisecond,
+			MTTR:           2 * sim.Millisecond,
+			RequestTimeout: 2 * sim.Millisecond,
+			MaxRetries:     2,
+			HedgeDelay:     500 * sim.Microsecond,
+		},
+	}},
+}
+
+// resetConfig fills in the four members every reset case uses.
+func resetConfig(cfg Config) Config {
+	cfg.Members = uniformMembers(4, soc.CPC1A)
+	return cfg
+}
+
+// dirtyConfig is a same-shape point that exercises every mechanism the
+// target case may have off (and vice versa), so the reset under test
+// starts from a thoroughly used fleet rather than a fresh one.
+func dirtyConfig(topo Topology) Config {
+	return Config{
+		Policy:        PowerAware,
+		P99Target:     250 * sim.Microsecond,
+		Topology:      topo,
+		TorLatency:    3 * sim.Microsecond,
+		DrainHold:     sim.Millisecond,
+		FeedbackEpoch: sim.Millisecond,
+		Members:       uniformMembers(4, soc.CPC1A),
+	}
+}
+
+// TestFleetResetDeterministic is the Reset contract: a reset fleet is
+// byte-identical to a fresh one. Each case first runs a different
+// same-shape point on the fleet (different policy, spec, seed and
+// controller/fault setup), resets to the target point, and requires the
+// measurement to equal a fresh fleet's exactly — including the reused
+// MeasureInto output buffers.
+func TestFleetResetDeterministic(t *testing.T) {
+	const warmup, window = 3 * sim.Millisecond, 15 * sim.Millisecond
+	specFn := func() workload.Spec { return workload.MemcachedBursty(40000, 4) }
+	for _, c := range resetCases {
+		cfg := resetConfig(c.cfg)
+
+		fresh, err := New(cfg, specFn(), 7)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		want := fresh.Measure(warmup, window)
+
+		var r Reuse
+		dirty, err := r.Fleet(dirtyConfig(cfg.Topology), workload.MemcachedBursty(60000, 8), 3)
+		if err != nil {
+			t.Fatalf("%s: dirty point: %v", c.name, err)
+		}
+		var got Measurement
+		dirty.MeasureInto(&got, warmup, window) // dirty the output buffers too
+
+		fl, err := r.Fleet(cfg, specFn(), 7)
+		if err != nil {
+			t.Fatalf("%s: reset point: %v", c.name, err)
+		}
+		if fl != dirty {
+			t.Fatalf("%s: Reuse rebuilt instead of resetting a same-shape fleet", c.name)
+		}
+		fl.MeasureInto(&got, warmup, window)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: reset fleet diverged from fresh fleet:\nfresh: %+v\nreset: %+v",
+				c.name, want, got)
+		}
+	}
+}
+
+// TestFleetResetShapeGuard pins the one thing Reset refuses: changing
+// the fleet's topology shape, which the positional rack wiring cannot
+// absorb.
+func TestFleetResetShapeGuard(t *testing.T) {
+	spec := workload.Memcached(10000)
+	fl, err := New(resetConfig(Config{Policy: RoundRobin}), spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{
+		Policy:   RoundRobin,
+		Topology: Topology{Racks: 2, ServersPerRack: 2},
+		Members:  uniformMembers(4, soc.CPC1A),
+	}
+	if err := fl.Reset(bad, spec, 1); err == nil {
+		t.Error("Reset accepted a topology reshape")
+	}
+	if err := fl.Reset(resetConfig(Config{Policy: Policy(99)}), spec, 1); err == nil {
+		t.Error("Reset accepted an invalid config")
+	}
+	// A Reuse falls back to a rebuild for the same reshape.
+	r := Reuse{fl: fl}
+	fl2, err := r.Fleet(bad, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl2 == fl {
+		t.Error("Reuse handed back the old fleet for a reshaped point")
+	}
+}
+
+// TestMemberLoadTracksServer pins the balancer's incremental occupancy
+// count against ground truth: at every routing decision, each member's
+// tracked load equals the server's own in-flight count plus the
+// requests still riding the ToR hop toward it.
+func TestMemberLoadTracksServer(t *testing.T) {
+	fl, err := New(Config{
+		Policy:     RackPowerAware,
+		P99Target:  300 * sim.Microsecond,
+		Topology:   Topology{Racks: 2, ServersPerRack: 2},
+		TorLatency: 5 * sim.Microsecond,
+		DrainHold:  sim.Millisecond,
+		Members:    uniformMembers(4, soc.CPC1A),
+	}, workload.MemcachedBursty(60000, 8), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	fl.testOnRoute = func(*member) {
+		checked++
+		for _, m := range fl.members {
+			if m.load != m.srv.InFlight()+m.transit {
+				t.Fatalf("member %d: tracked load %d != in-flight %d + transit %d",
+					m.idx, m.load, m.srv.InFlight(), m.transit)
+			}
+		}
+	}
+	fl.Run(20 * sim.Millisecond)
+	if checked == 0 {
+		t.Fatal("no routing decisions observed")
+	}
+}
+
+// TestRouteSteadyStateAllocs is the tentpole's contract on the hot
+// path: once pools and arenas are primed, driving the fleet — routing,
+// ToR transit, service, completion, drain and feedback decisions, and
+// the fault layer's request-robustness envelope — allocates nothing,
+// for every policy.
+func TestRouteSteadyStateAllocs(t *testing.T) {
+	policies := []Policy{RoundRobin, LeastLoaded, PowerAware, RackAffinity, RackPowerAware}
+	for _, pol := range policies {
+		for _, faults := range []bool{false, true} {
+			name := pol.String()
+			cfg := Config{
+				Policy:     pol,
+				P99Target:  300 * sim.Microsecond,
+				Topology:   Topology{Racks: 2, ServersPerRack: 2},
+				TorLatency: 5 * sim.Microsecond,
+				Members:    uniformMembers(4, soc.CPC1A),
+			}
+			if pol == PowerAware || pol == RackPowerAware {
+				cfg.DrainHold = sim.Millisecond
+				cfg.FeedbackEpoch = sim.Millisecond
+			}
+			if faults {
+				name += "+faults"
+				cfg.Faults = FaultConfig{
+					RequestTimeout: 2 * sim.Millisecond,
+					MaxRetries:     2,
+					HedgeDelay:     500 * sim.Microsecond,
+				}
+			}
+			fl, err := New(cfg, workload.MemcachedBursty(60000, 8), 7)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			fl.Run(5 * sim.Millisecond) // prime pools, arena, histograms
+			allocs := testing.AllocsPerRun(3, func() {
+				fl.Run(sim.Millisecond)
+			})
+			if allocs > 0 {
+				t.Errorf("%s: steady-state Run allocates %.1f times per ms window, want 0",
+					name, allocs)
+			}
+		}
+	}
+}

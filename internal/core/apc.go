@@ -75,6 +75,13 @@ type APMU struct {
 
 	entryEv sim.Event
 
+	// Preallocated FSM action callbacks (entry, exit, PwrOk continuation)
+	// so steady-state PC1A cycling schedules without allocating.
+	entryFn      func()
+	wakeFn       func()
+	pwrokFn      func()
+	entryArmedAt sim.Time
+
 	onTransition []func(old, new pmu.PkgState)
 
 	// Bookkeeping.
@@ -114,6 +121,56 @@ func New(eng *sim.Engine, cfg Config, cores []*cpu.Core, links []*ios.Link, mcs 
 		linkWires[i] = l.InL0s()
 	}
 	a.inL0s = signal.NewAndTree("InL0s", linkWires...).Output()
+
+	a.entryFn = func() {
+		a.entryEv = sim.Event{}
+		// Conditions may have decayed during the FSM cycle.
+		if a.state != pmu.ACC1 || !a.inCC1.Level() || !a.inL0s.Level() {
+			return
+		}
+		// Branch (i): ① clock-gate the CLM, ② begin the non-blocking
+		// voltage ramp to retention.
+		a.clm.ClockGate()
+		a.clm.SetRet()
+		// Branch (ii): ③ allow the MCs to enter CKE-off.
+		for _, mc := range a.mcs {
+			mc.AllowCKEOff().Set()
+		}
+		// Set InPC1A: the system is now in PC1A (the voltage ramp
+		// completes in the background).
+		a.inPC1A.Set()
+		a.lastEntryLat = a.eng.Now() - a.entryArmedAt
+		a.pc1aStart = a.eng.Now()
+		a.setState(pmu.PC1A)
+	}
+	a.wakeFn = func() {
+		// Branch (i): ④ unset Ret — CLM FIVRs ramp up; PwrOk continues
+		// the flow.
+		a.clm.UnsetRet()
+		// Branch (ii): ⑥ unset Allow_CKE_OFF — MCs reactivate.
+		for _, mc := range a.mcs {
+			mc.AllowCKEOff().Unset()
+		}
+		a.inPC1A.Unset()
+	}
+	a.pwrokFn = func() {
+		a.clm.ClockUngate()
+		a.exiting = false
+		a.lastExitLat = a.eng.Now() - a.exitStart
+		a.setState(pmu.ACC1)
+		if !a.inCC1.Level() {
+			// Core interrupt: ACC1 → PC0, unset AllowL0s.
+			a.leaveACC1()
+			return
+		}
+		// IO-only or timer wake: cores are still idle. Remain in ACC1;
+		// when the IOs drain back into L0s the AND tree rises and entry
+		// re-arms. If they are somehow already idle and in standby, the
+		// level check below re-arms immediately.
+		if a.inL0s.Level() {
+			a.armEntry()
+		}
+	}
 
 	a.inCC1.Subscribe(a.onInCC1)
 	a.inL0s.Subscribe(a.onInL0s)
@@ -254,28 +311,8 @@ func (a *APMU) armEntry() {
 	if a.state != pmu.ACC1 || a.exiting || a.entryEv.Pending() {
 		return
 	}
-	armedAt := a.eng.Now()
-	a.entryEv = a.eng.Schedule(a.cfg.cycle(), func() {
-		a.entryEv = sim.Event{}
-		// Conditions may have decayed during the FSM cycle.
-		if a.state != pmu.ACC1 || !a.inCC1.Level() || !a.inL0s.Level() {
-			return
-		}
-		// Branch (i): ① clock-gate the CLM, ② begin the non-blocking
-		// voltage ramp to retention.
-		a.clm.ClockGate()
-		a.clm.SetRet()
-		// Branch (ii): ③ allow the MCs to enter CKE-off.
-		for _, mc := range a.mcs {
-			mc.AllowCKEOff().Set()
-		}
-		// Set InPC1A: the system is now in PC1A (the voltage ramp
-		// completes in the background).
-		a.inPC1A.Set()
-		a.lastEntryLat = a.eng.Now() - armedAt
-		a.pc1aStart = a.eng.Now()
-		a.setState(pmu.PC1A)
-	})
+	a.entryArmedAt = a.eng.Now()
+	a.entryEv = a.eng.Schedule(a.cfg.cycle(), a.entryFn)
 }
 
 // wake begins the Fig. 4 exit flow. reason is for tracing only.
@@ -287,16 +324,7 @@ func (a *APMU) wake(reason string) {
 	a.exiting = true
 	a.exitStart = a.eng.Now()
 	// One FSM action slot to drive the exit signals.
-	a.eng.Schedule(a.cfg.cycle(), func() {
-		// Branch (i): ④ unset Ret — CLM FIVRs ramp up; PwrOk continues
-		// the flow.
-		a.clm.UnsetRet()
-		// Branch (ii): ⑥ unset Allow_CKE_OFF — MCs reactivate.
-		for _, mc := range a.mcs {
-			mc.AllowCKEOff().Unset()
-		}
-		a.inPC1A.Unset()
-	})
+	a.eng.Schedule(a.cfg.cycle(), a.wakeFn)
 }
 
 // onPwrOk: ⑤ the CLM rails are back at operational voltage; clock-ungate
@@ -306,24 +334,7 @@ func (a *APMU) onPwrOk() {
 	if !a.exiting {
 		return
 	}
-	a.eng.Schedule(a.cfg.cycle(), func() {
-		a.clm.ClockUngate()
-		a.exiting = false
-		a.lastExitLat = a.eng.Now() - a.exitStart
-		a.setState(pmu.ACC1)
-		if !a.inCC1.Level() {
-			// Core interrupt: ACC1 → PC0, unset AllowL0s.
-			a.leaveACC1()
-			return
-		}
-		// IO-only or timer wake: cores are still idle. Remain in ACC1;
-		// when the IOs drain back into L0s the AND tree rises and entry
-		// re-arms. If they are somehow already idle and in standby, the
-		// level check below re-arms immediately.
-		if a.inL0s.Level() {
-			a.armEntry()
-		}
-	})
+	a.eng.Schedule(a.cfg.cycle(), a.pwrokFn)
 }
 
 // Describe returns a one-line summary for experiment logs.

@@ -265,7 +265,14 @@ type Core struct {
 	freq     FreqPolicy
 
 	state CState
+	// queue is the run queue with a consumed-head index: dequeuing
+	// advances qHead instead of reslicing, and the backing array is
+	// recycled whenever the queue drains, so steady-state enqueue/dequeue
+	// never allocates.
 	queue []Work
+	qHead int
+	// cur is the work item being executed, read back by workFn.
+	cur Work
 
 	// inIdle is the PMA's InCC1 status wire: high when the core is in
 	// CC1 or deeper. It drops the moment a wake begins.
@@ -281,6 +288,12 @@ type Core struct {
 	busyInWin  sim.Duration
 
 	ch *power.Channel
+
+	// Preallocated event callbacks: the wake→work→idle cycle schedules
+	// these fixed closures, so a core in steady state allocates nothing.
+	wakeFn func()
+	workFn func()
+	idleFn func()
 
 	onTransition []func(old, new CState)
 
@@ -306,6 +319,30 @@ func NewCore(eng *sim.Engine, id int, p Params, gov Governor, freq FreqPolicy, c
 	if ch != nil {
 		ch.Set(p.CC1Watts)
 	}
+	c.wakeFn = func() {
+		c.wakeEv = sim.Event{}
+		c.setState(CC0)
+		c.beginWork()
+	}
+	c.workFn = func() {
+		w := c.cur
+		c.cur = Work{}
+		c.workEv = sim.Event{}
+		c.workDone++
+		c.noteBusy(c.eng.Now() - c.busyStart)
+		if w.OnDone != nil {
+			w.OnDone()
+		}
+		if len(c.queue) > c.qHead {
+			c.beginWork()
+			return
+		}
+		c.armIdleEntry()
+	}
+	c.idleFn = func() {
+		c.idleEntry = sim.Event{}
+		c.enterIdle()
+	}
 	return c
 }
 
@@ -319,7 +356,7 @@ func (c *Core) State() CState { return c.state }
 func (c *Core) InCC1() *signal.Signal { return c.inIdle }
 
 // QueueLen returns the number of queued (not yet started) work items.
-func (c *Core) QueueLen() int { return len(c.queue) }
+func (c *Core) QueueLen() int { return len(c.queue) - c.qHead }
 
 // Busy reports whether the core is executing or waking to execute.
 func (c *Core) Busy() bool { return c.state == CC0 || c.wakeEv.Pending() }
@@ -380,7 +417,7 @@ func (c *Core) WakeInterrupt(kernelTime sim.Duration) {
 // maybeStart begins waking or executing if there is work and the core is
 // not already doing either.
 func (c *Core) maybeStart() {
-	if len(c.queue) == 0 || c.workEv.Pending() || c.wakeEv.Pending() {
+	if len(c.queue) == c.qHead || c.workEv.Pending() || c.wakeEv.Pending() {
 		return
 	}
 	// Cancel a pending idle entry: the kernel path was preempted before
@@ -397,11 +434,7 @@ func (c *Core) maybeStart() {
 		c.governor.RecordIdle(c.eng.Now() - c.idleStart)
 		c.wakes[from]++
 		c.inIdle.Unset()
-		c.wakeEv = c.eng.Schedule(c.params.ExitLatency(from), func() {
-			c.wakeEv = sim.Event{}
-			c.setState(CC0)
-			c.beginWork()
-		})
+		c.wakeEv = c.eng.Schedule(c.params.ExitLatency(from), c.wakeFn)
 		return
 	}
 	// Already in CC0 (between work items or in the idle-entry window).
@@ -413,8 +446,13 @@ func (c *Core) beginWork() {
 	if c.state != CC0 {
 		c.setState(CC0)
 	}
-	w := c.queue[0]
-	c.queue = c.queue[1:]
+	w := c.queue[c.qHead]
+	c.queue[c.qHead] = Work{} // drop closure references
+	c.qHead++
+	if c.qHead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qHead = 0
+	}
 	c.busyStart = c.eng.Now()
 	if w.OnStart != nil {
 		w.OnStart()
@@ -425,19 +463,8 @@ func (c *Core) beginWork() {
 	if c.ch != nil {
 		c.ch.Set(c.params.CC0Watts * ghz / c.params.NominalGHz)
 	}
-	c.workEv = c.eng.Schedule(scaled, func() {
-		c.workEv = sim.Event{}
-		c.workDone++
-		c.noteBusy(c.eng.Now() - c.busyStart)
-		if w.OnDone != nil {
-			w.OnDone()
-		}
-		if len(c.queue) > 0 {
-			c.beginWork()
-			return
-		}
-		c.armIdleEntry()
-	})
+	c.cur = w
+	c.workEv = c.eng.Schedule(scaled, c.workFn)
 }
 
 // armIdleEntry schedules the kernel idle-entry path.
@@ -446,14 +473,11 @@ func (c *Core) armIdleEntry() {
 		c.enterIdle()
 		return
 	}
-	c.idleEntry = c.eng.Schedule(c.params.IdleEntryDelay, func() {
-		c.idleEntry = sim.Event{}
-		c.enterIdle()
-	})
+	c.idleEntry = c.eng.Schedule(c.params.IdleEntryDelay, c.idleFn)
 }
 
 func (c *Core) enterIdle() {
-	if len(c.queue) > 0 {
+	if len(c.queue) > c.qHead {
 		c.maybeStart()
 		return
 	}

@@ -146,6 +146,20 @@ type MC struct {
 	mcCh   *power.Channel // Package domain
 	dramCh *power.Channel // DRAM domain
 
+	// Preallocated event callbacks for the access/CKE cycle, so
+	// steady-state traffic schedules without allocating.
+	ckeEnterFn func()
+	exitDoneFn func()
+	completeFn func() // Access completion for the done==nil fast path
+
+	// batchFn completes one AccessN batch; batchQ holds the per-batch
+	// transaction counts in FIFO order. Batch completions are scheduled
+	// with a fixed relative latency, so they fire in schedule order and a
+	// plain queue pairs each event with its count.
+	batchFn   func()
+	batchQ    []int
+	batchHead int
+
 	ckeEntries uint64
 	srEntries  uint64
 	accesses   uint64
@@ -171,6 +185,33 @@ func NewMC(eng *sim.Engine, name string, p Params, kind CKEKind, mcCh, dramCh *p
 		dramCh.Set(p.DRAMActiveWatts)
 	}
 	mc.allowCKEOff.Subscribe(mc.onAllowCKEOff)
+	mc.ckeEnterFn = func() {
+		mc.pending = sim.Event{}
+		// Conditions may have changed during the 10 ns entry.
+		if mc.mode != Active || !mc.allowCKEOff.Level() || !mc.Idle() {
+			return
+		}
+		mc.mode = PowerDown
+		mc.ckeEntries++
+		mc.setPower()
+		mc.inCKEOff.Set()
+	}
+	mc.exitDoneFn = func() {
+		mc.pending = sim.Event{}
+		mc.drainOrIdle()
+	}
+	mc.completeFn = func() { mc.complete(nil) }
+	mc.batchFn = func() {
+		k := mc.batchQ[mc.batchHead]
+		mc.batchHead++
+		if mc.batchHead == len(mc.batchQ) {
+			mc.batchQ = mc.batchQ[:0]
+			mc.batchHead = 0
+		}
+		for ; k > 0; k-- {
+			mc.complete(nil)
+		}
+	}
 	return mc
 }
 
@@ -236,17 +277,7 @@ func (mc *MC) maybeEnterCKEOff() {
 	if mc.mode != Active || !mc.allowCKEOff.Level() || !mc.Idle() || mc.pending.Pending() {
 		return
 	}
-	mc.pending = mc.eng.Schedule(mc.params.CKEEntry, func() {
-		mc.pending = sim.Event{}
-		// Conditions may have changed during the 10 ns entry.
-		if mc.mode != Active || !mc.allowCKEOff.Level() || !mc.Idle() {
-			return
-		}
-		mc.mode = PowerDown
-		mc.ckeEntries++
-		mc.setPower()
-		mc.inCKEOff.Set()
-	})
+	mc.pending = mc.eng.Schedule(mc.params.CKEEntry, mc.ckeEnterFn)
 }
 
 // exitToActive returns to Active after the given latency.
@@ -255,10 +286,7 @@ func (mc *MC) exitToActive(lat sim.Duration) {
 	mc.mode = Active
 	mc.inCKEOff.Unset()
 	mc.setPower()
-	mc.pending = mc.eng.Schedule(lat, func() {
-		mc.pending = sim.Event{}
-		mc.drainOrIdle()
-	})
+	mc.pending = mc.eng.Schedule(lat, mc.exitDoneFn)
 }
 
 func (mc *MC) drainOrIdle() {
@@ -287,43 +315,73 @@ func (mc *MC) Access(done func()) sim.Duration {
 		mc.pending = sim.Event{}
 	}
 	total := penalty + mc.params.AccessLatency
-	mc.eng.Schedule(total, func() {
-		mc.outstanding--
-		mc.accesses++
-		if mc.dramCh != nil {
-			// Dynamic energy: model as an impulse by direct accumulation
-			// through a zero-duration power excursion is not possible in
-			// a piecewise-constant meter, so charge it as an equivalent
-			// energy via a brief explicit add.
-			mc.chargeAccessEnergy()
-		}
-		if done != nil {
-			done()
-		}
-		if mc.Idle() {
-			mc.maybeEnterCKEOff()
-		}
-	})
+	if done == nil {
+		mc.eng.Schedule(total, mc.completeFn)
+	} else {
+		mc.eng.Schedule(total, func() { mc.complete(done) })
+	}
 	return total
 }
 
-// chargeAccessEnergy adds the per-access dynamic energy to the DRAM
-// domain. The meter integrates piecewise-constant power, so the impulse
-// is applied by temporarily raising the channel draw for one nanosecond
-// of virtual time with the equivalent power.
-func (mc *MC) chargeAccessEnergy() {
-	e := mc.params.AccessEnergyJoules
-	if e <= 0 {
+// AccessN performs k transactions issued back to back at the current
+// instant with no completion callbacks — the bulk form of Access that
+// request execution uses. State evolution is exactly k Access(nil)
+// calls: when the channel is in a power-down mode the first transaction
+// pays the exit penalty and completes later than the k−1 issued against
+// the then-active channel; completions that share a fire time share one
+// engine event, which runs their complete sequence back to back — the
+// same back-to-back order the per-access events fire in, since their
+// sequence numbers are consecutive.
+func (mc *MC) AccessN(k int) {
+	if k <= 0 {
 		return
 	}
-	base := mc.dramCh.Watts()
-	impulse := e / sim.Nanosecond.Seconds() // watts over 1 ns
-	mc.dramCh.Set(base + impulse)
-	mc.eng.Schedule(sim.Nanosecond, func() {
-		// Re-derive the correct background level: the mode may have
-		// changed during the impulse nanosecond.
-		mc.setPower()
-	})
+	mc.outstanding += k
+	switch mc.mode {
+	case PowerDown:
+		mc.exitToActive(mc.params.CKEExit)
+		mc.eng.Schedule(mc.params.CKEExit+mc.params.AccessLatency, mc.completeFn)
+		k--
+	case SelfRefresh:
+		mc.exitToActive(mc.params.SRExit)
+		mc.eng.Schedule(mc.params.SRExit+mc.params.AccessLatency, mc.completeFn)
+		k--
+	default:
+		// An in-flight CKE entry is aborted by traffic.
+		mc.pending.Cancel()
+		mc.pending = sim.Event{}
+	}
+	switch {
+	case k == 1:
+		mc.eng.Schedule(mc.params.AccessLatency, mc.completeFn)
+	case k > 1:
+		mc.batchQ = append(mc.batchQ, k)
+		mc.eng.Schedule(mc.params.AccessLatency, mc.batchFn)
+	}
+}
+
+// complete finishes one transaction: counters, dynamic energy, the
+// caller's callback, and opportunistic CKE re-entry.
+func (mc *MC) complete(done func()) {
+	mc.outstanding--
+	mc.accesses++
+	if mc.dramCh != nil {
+		mc.chargeAccessEnergy()
+	}
+	if done != nil {
+		done()
+	}
+	if mc.Idle() {
+		mc.maybeEnterCKEOff()
+	}
+}
+
+// chargeAccessEnergy deposits the per-access dynamic energy into the
+// DRAM domain as a direct impulse.
+func (mc *MC) chargeAccessEnergy() {
+	if e := mc.params.AccessEnergyJoules; e > 0 {
+		mc.dramCh.AddEnergy(e)
+	}
 }
 
 // EnterSelfRefresh places the channels in self-refresh (GPMU command

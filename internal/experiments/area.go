@@ -61,7 +61,15 @@ func init() {
 
 // Area computes the budget.
 func Area(m AreaModel) *AreaResult {
-	r := &AreaResult{Model: m}
+	r := new(AreaResult)
+	AreaInto(r, m)
+	return r
+}
+
+// AreaInto computes the budget into a caller-owned result, so repeated
+// evaluations (sensitivity sweeps, benchmarks) allocate nothing.
+func AreaInto(r *AreaResult, m AreaModel) {
+	*r = AreaResult{Model: m}
 	perSignal := m.IOInterconnectDieFrac / float64(m.IOInterconnectWidthBits)
 	// Sec. 5.1: IOSM adds five long-distance signals.
 	r.IOSMSignals = 5 * perSignal
@@ -75,7 +83,6 @@ func Area(m AreaModel) *AreaResult {
 	r.APMULogic = m.APMUOfGPMUFrac * m.GPMUDieFrac
 	r.InCC1Routing = 3 * perSignal
 	r.Total = r.IOSMSignals + r.IOSMControllers + r.CLMRSignals + r.APMULogic + r.InCC1Routing
-	return r
 }
 
 // Report implements Result.

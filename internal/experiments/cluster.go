@@ -69,11 +69,11 @@ type ClusterPoint struct {
 // machines (rack.go's measureFleet with the trivial topology — an
 // explicit Flat(n) assembles the identical event sequence, which
 // TestFlatTopologyMatchesRackless pins).
-func runFleet(opt Options, n int, pol cluster.Policy, specFn func() workload.Spec) ClusterPoint {
+func runFleet(reuse *cluster.Reuse, opt Options, n int, pol cluster.Policy, specFn func() workload.Spec) ClusterPoint {
 	return ClusterPoint{
 		Servers: n,
 		Policy:  pol.String(),
-		Fleet: measureFleet(opt, cluster.Config{
+		Fleet: measureFleet(reuse, opt, cluster.Config{
 			Policy:    pol,
 			P99Target: DefaultClusterP99Target,
 			Topology:  cluster.Flat(n),
@@ -126,8 +126,8 @@ func ClusterScaling(opt Options, sizes []int) (*ClusterScalingResult, error) {
 		}
 	}
 	res := &ClusterScalingResult{AggregateQPS: specFn().MeanQPS(), Duration: opt.Duration}
-	res.Points = Sweep(opt, pts, func(p pt) ClusterPoint {
-		return runFleet(opt, p.n, p.pol, specFn)
+	res.Points = SweepWith(opt, pts, newReuse, func(reuse *cluster.Reuse, p pt) ClusterPoint {
+		return runFleet(reuse, opt, p.n, p.pol, specFn)
 	})
 	return res, nil
 }
@@ -188,8 +188,8 @@ func ClusterPolicy(opt Options, policies []cluster.Policy) (*ClusterPolicyResult
 		Burstiness:   DefaultClusterPolicyBurstiness,
 		Duration:     opt.Duration,
 	}
-	res.Points = Sweep(opt, policies, func(pol cluster.Policy) ClusterPoint {
-		return runFleet(opt, DefaultClusterPolicyServers, pol, specFn)
+	res.Points = SweepWith(opt, policies, newReuse, func(reuse *cluster.Reuse, pol cluster.Policy) ClusterPoint {
+		return runFleet(reuse, opt, DefaultClusterPolicyServers, pol, specFn)
 	})
 	return res, nil
 }

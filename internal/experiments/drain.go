@@ -131,11 +131,11 @@ func DrainHysteresis(opt Options, holds []sim.Duration) (*DrainHysteresisResult,
 		TorLatency:   DefaultDrainTorLatency,
 		Duration:     opt.Duration,
 	}
-	res.Points = Sweep(opt, pts, func(p pt) DrainPoint {
+	res.Points = SweepWith(opt, pts, newReuse, func(reuse *cluster.Reuse, p pt) DrainPoint {
 		return DrainPoint{
 			Policy: p.pol.String(),
 			HoldUS: p.hold.Seconds() * 1e6,
-			Fleet: measureFleet(opt, cluster.Config{
+			Fleet: measureFleet(reuse, opt, cluster.Config{
 				Policy:     p.pol,
 				P99Target:  DefaultDrainP99Target,
 				Topology:   DefaultDrainTopology,

@@ -338,6 +338,18 @@ func TestArea(t *testing.T) {
 	if !strings.Contains(r.String(), "Total") {
 		t.Error("report missing")
 	}
+	// AreaInto must match Area and allocate nothing, so BenchmarkArea
+	// stays at 0 allocs/op.
+	var into AreaResult
+	AreaInto(&into, DefaultAreaModel())
+	if into != *r {
+		t.Errorf("AreaInto = %+v, Area = %+v", into, *r)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		AreaInto(&into, DefaultAreaModel())
+	}); allocs > 0 {
+		t.Errorf("AreaInto allocates %.1f times per run, want 0", allocs)
+	}
 }
 
 func TestSensitivity(t *testing.T) {

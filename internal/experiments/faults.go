@@ -139,11 +139,11 @@ func FaultResilience(opt Options, mtbfs []sim.Duration) (*FaultResilienceResult,
 		HedgeDelay:   DefaultFaultHedgeDelay,
 		Duration:     opt.Duration,
 	}
-	res.Points = Sweep(opt, pts, func(p pt) FaultPoint {
+	res.Points = SweepWith(opt, pts, newReuse, func(reuse *cluster.Reuse, p pt) FaultPoint {
 		return FaultPoint{
 			Policy: p.pol.String(),
 			MTBFUS: p.mtbf.Seconds() * 1e6,
-			Fleet: measureFleet(opt, cluster.Config{
+			Fleet: measureFleet(reuse, opt, cluster.Config{
 				Policy:     p.pol,
 				P99Target:  DefaultFaultP99Target,
 				Topology:   DefaultFaultTopology,

@@ -36,10 +36,22 @@ func (o Options) parallelism() int {
 // with no goroutines at all, keeping serial sweeps trivially
 // deterministic and cheap to reason about.
 func RunPoints[T any](par, n int, fn func(i int) T) []T {
+	return runPoints(par, n,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) T { return fn(i) })
+}
+
+// runPoints is the worker-pool core: newS builds one scratch value per
+// worker goroutine (exactly one for serial runs), which fn receives
+// alongside each point index. Scratch reuse is what lets sweeps recycle
+// heavy per-point state (a fleet, its engine arena) without sharing
+// anything between workers.
+func runPoints[S, T any](par, n int, newS func() S, fn func(s S, i int) T) []T {
 	out := make([]T, n)
 	if par <= 1 || n <= 1 {
+		s := newS()
 		for i := range out {
-			out[i] = fn(i)
+			out[i] = fn(s, i)
 		}
 		return out
 	}
@@ -52,12 +64,13 @@ func RunPoints[T any](par, n int, fn func(i int) T) []T {
 	for w := 0; w < par; w++ {
 		go func() {
 			defer wg.Done()
+			s := newS()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				out[i] = fn(s, i)
 			}
 		}()
 	}
@@ -73,5 +86,19 @@ func RunPoints[T any](par, n int, fn func(i int) T) []T {
 func Sweep[P, T any](opt Options, points []P, fn func(P) T) []T {
 	return RunPoints(opt.parallelism(), len(points), func(i int) T {
 		return fn(points[i])
+	})
+}
+
+// SweepWith is Sweep with per-worker scratch: newS runs once per worker
+// goroutine (once total for serial sweeps) and fn receives that
+// worker's scratch alongside each point. The cluster sweeps thread a
+// *cluster.Reuse through here so consecutive points on a worker reset
+// one fleet instead of building a new one; because a reset fleet is
+// byte-identical to a fresh build, every point remains a pure function
+// of (Options, point) and parallel sweeps stay bit-identical to serial
+// ones.
+func SweepWith[S, P, T any](opt Options, points []P, newS func() S, fn func(S, P) T) []T {
+	return runPoints(opt.parallelism(), len(points), newS, func(s S, i int) T {
+		return fn(s, points[i])
 	})
 }

@@ -60,8 +60,13 @@ func init() {
 // cfg carries everything but the members, which are filled in from the
 // topology (Flat(n) for unracked fleets). specFn builds the workload per
 // call: arrival processes (MMPP2) carry mutable phase state, so
-// concurrently-running fleets must never share one spec value.
-func measureFleet(opt Options, cfg cluster.Config, specFn func() workload.Spec) cluster.Measurement {
+// concurrently-running fleets must never share one spec value. reuse is
+// the calling sweep worker's fleet cache — consecutive points with the
+// same topology shape reset one fleet instead of building a new one.
+// newReuse builds one fleet cache per sweep worker (SweepWith's newS).
+func newReuse() *cluster.Reuse { return new(cluster.Reuse) }
+
+func measureFleet(reuse *cluster.Reuse, opt Options, cfg cluster.Config, specFn func() workload.Spec) cluster.Measurement {
 	members := make([]cluster.MemberConfig, cfg.Topology.Servers())
 	for i := range members {
 		scfg := server.DefaultConfig()
@@ -69,7 +74,7 @@ func measureFleet(opt Options, cfg cluster.Config, specFn func() workload.Spec) 
 		members[i] = cluster.MemberConfig{SoC: soc.DefaultConfig(soc.CPC1A), Server: scfg}
 	}
 	cfg.Members = members
-	fl, err := cluster.New(cfg, specFn(), opt.Seed)
+	fl, err := reuse.Fleet(cfg, specFn(), opt.Seed)
 	if err != nil {
 		// All inputs are compile-time constants; an error is a bug.
 		panic(err)
@@ -142,13 +147,13 @@ func RackPacking(opt Options, topos []cluster.Topology) (*RackPackingResult, err
 		TorLatency:   DefaultRackTorLatency,
 		Duration:     opt.Duration,
 	}
-	res.Points = Sweep(opt, pts, func(p pt) RackPoint {
+	res.Points = SweepWith(opt, pts, newReuse, func(reuse *cluster.Reuse, p pt) RackPoint {
 		return RackPoint{
 			Topology:       p.topo.String(),
 			Racks:          p.topo.Racks,
 			ServersPerRack: p.topo.ServersPerRack,
 			Policy:         p.pol.String(),
-			Fleet: measureFleet(opt, cluster.Config{
+			Fleet: measureFleet(reuse, opt, cluster.Config{
 				Policy:     p.pol,
 				P99Target:  DefaultClusterP99Target,
 				Topology:   p.topo,

@@ -161,6 +161,11 @@ type Link struct {
 	onL1Done func()    // completion hook for an in-flight L1 exit
 	ch       *power.Channel
 
+	// Preallocated L0s entry/exit completion callbacks: the standby
+	// cycle runs once per idle episode, so it must not allocate.
+	entryDoneFn func()
+	exitDoneFn  func()
+
 	// Counters for experiments.
 	standbyEntries uint64
 	wakes          uint64
@@ -181,6 +186,18 @@ func NewLink(eng *sim.Engine, name string, p Params, ch *power.Channel) *Link {
 		ch.Set(p.ActiveWatts)
 	}
 	l.allowL0s.Subscribe(l.onAllowL0s)
+	l.entryDoneFn = func() {
+		l.pending = sim.Event{}
+		l.state = L0s
+		l.standbyEntries++
+		l.setPower(l.params.StandbyWatts)
+		l.inL0s.Set()
+	}
+	l.exitDoneFn = func() {
+		l.pending = sim.Event{}
+		l.state = L0
+		l.maybeArmStandby()
+	}
 	return l
 }
 
@@ -252,13 +269,7 @@ func (l *Link) maybeArmStandby() {
 		return
 	}
 	l.state = L0sEntry
-	l.pending = l.eng.Schedule(l.params.StandbyEntry, func() {
-		l.pending = sim.Event{}
-		l.state = L0s
-		l.standbyEntries++
-		l.setPower(l.params.StandbyWatts)
-		l.inL0s.Set()
-	})
+	l.pending = l.eng.Schedule(l.params.StandbyEntry, l.entryDoneFn)
 }
 
 // beginStandbyExit starts the L0s→L0 transition. The InL0s wire drops
@@ -275,11 +286,7 @@ func (l *Link) beginStandbyExit(traffic bool) {
 			fn()
 		}
 	}
-	l.pending = l.eng.Schedule(l.params.StandbyExit, func() {
-		l.pending = sim.Event{}
-		l.state = L0
-		l.maybeArmStandby()
-	})
+	l.pending = l.eng.Schedule(l.params.StandbyExit, l.exitDoneFn)
 }
 
 // StartTransaction marks the beginning of a bus transaction. A

@@ -48,9 +48,10 @@ type FIVR struct {
 	retention   float64 // RVID: pre-programmed retention voltage
 	inRet       bool
 
-	rampDone sim.Event
-	onPwrOk  func()
-	onAtRet  func()
+	rampDone   sim.Event
+	rampDoneFn func() // preallocated ramp-completion callback
+	onPwrOk    func()
+	onAtRet    func()
 }
 
 // NewFIVR creates a regulator already settled at the operational voltage.
@@ -61,7 +62,7 @@ func NewFIVR(eng *sim.Engine, name string, operational, retention, slewVoltsPerN
 	if slewVoltsPerNs <= 0 {
 		panic("pdn: slew must be positive")
 	}
-	return &FIVR{
+	f := &FIVR{
 		eng:         eng,
 		name:        name,
 		slew:        slewVoltsPerNs,
@@ -70,6 +71,19 @@ func NewFIVR(eng *sim.Engine, name string, operational, retention, slewVoltsPerN
 		operational: operational,
 		retention:   retention,
 	}
+	f.rampDoneFn = func() {
+		f.rampDone = sim.Event{}
+		if f.target == f.retention && f.inRet {
+			if f.onAtRet != nil {
+				f.onAtRet()
+			}
+			return
+		}
+		if f.onPwrOk != nil {
+			f.onPwrOk()
+		}
+	}
+	return f
 }
 
 // Name returns the regulator's name.
@@ -175,18 +189,7 @@ func (f *FIVR) retarget(v float64) {
 	f.t0 = f.eng.Now()
 	f.target = v
 	d := f.rampDuration(cur, v)
-	f.rampDone = f.eng.Schedule(d, func() {
-		f.rampDone = sim.Event{}
-		if f.target == f.retention && f.inRet {
-			if f.onAtRet != nil {
-				f.onAtRet()
-			}
-			return
-		}
-		if f.onPwrOk != nil {
-			f.onPwrOk()
-		}
-	})
+	f.rampDone = f.eng.Schedule(d, f.rampDoneFn)
 }
 
 // MBVR is a motherboard voltage regulator: a fixed rail (e.g. Vccio,

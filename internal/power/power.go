@@ -46,7 +46,10 @@ func (d Domain) String() string {
 // Channel is one component's contribution to a domain. Channels are
 // created via Meter.Channel and must not be copied.
 type Channel struct {
-	meter      *Meter
+	meter *Meter
+	// eng duplicates meter.eng: flush runs on every power transition of
+	// every component, and the direct pointer saves it a dependent load.
+	eng        *sim.Engine
 	name       string
 	domain     Domain
 	watts      float64
@@ -64,6 +67,18 @@ func (c *Channel) Set(watts float64) {
 	c.watts = watts
 }
 
+// AddEnergy deposits e joules into the channel directly: the impulse
+// form of Set, for events that carry energy but no duration (a DRAM
+// access burst). Prior draw is accounted first, exactly as Set does,
+// and the draw itself is unchanged. This replaces the old pattern of
+// raising the draw by e/1ns for one nanosecond of virtual time, which
+// cost an engine event and three Set calls per impulse to deposit the
+// same energy.
+func (c *Channel) AddEnergy(e float64) {
+	c.flush()
+	c.joules += e
+}
+
 // Watts returns the current draw.
 func (c *Channel) Watts() float64 { return c.watts }
 
@@ -78,7 +93,7 @@ func (c *Channel) Energy() float64 {
 }
 
 func (c *Channel) flush() {
-	now := c.meter.eng.Now()
+	now := c.eng.Now()
 	if now > c.lastUpdate {
 		c.joules += c.watts * (now - c.lastUpdate).Seconds()
 		c.lastUpdate = now
@@ -107,7 +122,7 @@ func (m *Meter) Channel(name string, domain Domain) *Channel {
 	if _, dup := m.byName[name]; dup {
 		panic(fmt.Sprintf("power: duplicate channel %q", name))
 	}
-	c := &Channel{meter: m, name: name, domain: domain, lastUpdate: m.eng.Now()}
+	c := &Channel{meter: m, eng: m.eng, name: name, domain: domain, lastUpdate: m.eng.Now()}
 	m.channels = append(m.channels, c)
 	m.byName[name] = c
 	return c

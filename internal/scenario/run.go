@@ -178,12 +178,19 @@ func (s Scenario) Run(opt experiments.Options) (*Result, error) {
 	}
 
 	res := &Result{Scenario: s, Axis: axis}
-	res.Points = experiments.Sweep(opt, jobs, func(j job) Point {
-		if j.sc.Cluster != nil {
-			return runClusterOne(j.sc, j.axis, j.label, opt)
-		}
-		return runOne(j.sc, j.axis, opt)
-	})
+	// Each sweep worker carries one fleet cache: consecutive cluster
+	// points that keep the fleet shape (the common case — the axis sweeps
+	// QPS or a policy knob) reset one fleet instead of rebuilding N
+	// machines per point. Reset is byte-identical to a fresh build, so
+	// results stay bit-identical at any parallelism.
+	res.Points = experiments.SweepWith(opt, jobs,
+		func() *cluster.Reuse { return new(cluster.Reuse) },
+		func(reuse *cluster.Reuse, j job) Point {
+			if j.sc.Cluster != nil {
+				return runClusterOne(j.sc, j.axis, j.label, opt, reuse)
+			}
+			return runOne(j.sc, j.axis, opt)
+		})
 	return res, nil
 }
 
@@ -236,7 +243,7 @@ func (s *Scenario) clusterMembers(kind soc.ConfigKind, seed uint64) []cluster.Me
 // round_robin, the assembled fleet is event-for-event the runOne wiring,
 // so the resulting Point is bit-identical (TestClusterSingleServerParity
 // locks this).
-func runClusterOne(sc Scenario, axisValue float64, axisLabel string, opt experiments.Options) Point {
+func runClusterOne(sc Scenario, axisValue float64, axisLabel string, opt experiments.Options, reuse *cluster.Reuse) Point {
 	kind, _ := soc.ParseConfigKind(sc.Config)
 	pol, _ := cluster.ParsePolicy(sc.Cluster.Policy)
 	spec, _, _ := sc.Workload.spec(sc.Cluster.Servers * soc.DefaultConfig(kind).CoreCount)
@@ -250,7 +257,7 @@ func runClusterOne(sc Scenario, axisValue float64, axisLabel string, opt experim
 		topo = cluster.Topology{Racks: r, ServersPerRack: sc.Cluster.Servers / r}
 	}
 	us := func(v float64) sim.Duration { return sim.Duration(v * float64(sim.Microsecond)) }
-	fl, err := cluster.New(cluster.Config{
+	fl, err := reuse.Fleet(cluster.Config{
 		Policy:        pol,
 		P99Target:     us(sc.Cluster.P99TargetUS),
 		Topology:      topo,

@@ -68,8 +68,77 @@ type Server struct {
 	truncated uint64
 
 	batch        []func()
+	batchSpare   []func()
 	batchArmed   bool
 	batchFlushes uint64
+	batchFn      func()
+
+	// freeList recycles inflight records so steady-state serving does
+	// not allocate per request.
+	freeList []*inflight
+}
+
+// inflight is the pooled per-request record. All five callbacks on a
+// request's path through the machine (NIC in, dispatch, core start, core
+// done, NIC out) are created once when the record is first allocated and
+// reused for every request the record later carries, so the steady-state
+// serve path schedules only preallocated closures.
+type inflight struct {
+	s    *Server
+	req  *workload.Request
+	done func()
+
+	inWireFn  func()
+	execFn    func()
+	startFn   func()
+	onDoneFn  func()
+	outWireFn func()
+}
+
+// newInflight takes a record off the free list (or builds one, creating
+// its callbacks) and binds it to a request.
+func (s *Server) newInflight(req *workload.Request, done func()) *inflight {
+	var r *inflight
+	if n := len(s.freeList); n > 0 {
+		r = s.freeList[n-1]
+		s.freeList = s.freeList[:n-1]
+	} else {
+		r = &inflight{s: s}
+		r.inWireFn = func() {
+			r.s.sys.NICLink().EndTransaction()
+			r.s.dispatch(r.execFn)
+		}
+		r.execFn = func() { r.s.execute(r) }
+		r.startFn = func() {
+			// 3. The request's DRAM traffic (dynamic energy; also wakes
+			// CKE-parked channels).
+			r.s.sys.MemAccess(r.req.MemAccesses)
+		}
+		r.onDoneFn = func() {
+			// 4. NIC DMA out, then the client sees the response one
+			// network latency after arrival processing started.
+			nic := r.s.sys.NICLink()
+			nic.StartTransaction()
+			outWire := nic.ExitDelay() + r.s.cfg.NICTransfer
+			r.s.sys.Engine.Schedule(outWire, r.outWireFn)
+		}
+		r.outWireFn = func() {
+			s := r.s
+			s.sys.NICLink().EndTransaction()
+			e2e := s.sys.Engine.Now() - r.req.Arrival + s.cfg.NetworkLatency
+			s.lat.Add(e2e.Seconds())
+			s.served++
+			s.inFlight--
+			done := r.done
+			r.req, r.done = nil, nil
+			s.freeList = append(s.freeList, r)
+			if done != nil {
+				done()
+			}
+		}
+	}
+	r.req, r.done = req, done
+	return r
 }
 
 // New creates a server for the given system and workload.
@@ -217,17 +286,14 @@ func (s *Server) Submit(req *workload.Request, done func()) { s.submit(req, done
 
 func (s *Server) submit(req *workload.Request, done func()) {
 	s.inFlight++
-	eng := s.sys.Engine
+	r := s.newInflight(req, done)
 	nic := s.sys.NICLink()
 
 	// 1. NIC DMA in: the PCIe link wakes if parked (its wake event is
 	// also what triggers the PC1A exit flow for network traffic).
 	nic.StartTransaction()
 	inWire := nic.ExitDelay() + s.cfg.NICTransfer
-	eng.Schedule(inWire, func() {
-		nic.EndTransaction()
-		s.dispatch(func() { s.execute(req, done) })
-	})
+	s.sys.Engine.Schedule(inWire, r.inWireFn)
 }
 
 // dispatch runs fn now, or holds it for the next epoch boundary when
@@ -244,48 +310,35 @@ func (s *Server) dispatch(fn func()) {
 	s.batchArmed = true
 	eng := s.sys.Engine
 	next := (eng.Now()/s.cfg.BatchEpoch + 1) * s.cfg.BatchEpoch
-	eng.At(next, func() {
-		s.batchArmed = false
-		s.batchFlushes++
-		pending := s.batch
-		s.batch = nil
-		for _, f := range pending {
-			f()
+	if s.batchFn == nil {
+		s.batchFn = func() {
+			s.batchArmed = false
+			s.batchFlushes++
+			// Swap buffers rather than discarding: a dispatch during the
+			// flush must land in a fresh batch, but the drained buffer can
+			// be recycled for it.
+			pending := s.batch
+			s.batch = s.batchSpare[:0]
+			for i, f := range pending {
+				pending[i] = nil
+				f()
+			}
+			s.batchSpare = pending[:0]
 		}
-	})
+	}
+	eng.At(next, s.batchFn)
 }
 
 // BatchFlushes returns how many epoch releases occurred.
 func (s *Server) BatchFlushes() uint64 { return s.batchFlushes }
 
 // execute runs the request on its pinned core and sends the response.
-func (s *Server) execute(req *workload.Request, done func()) {
-	eng := s.sys.Engine
-	nic := s.sys.NICLink()
+func (s *Server) execute(r *inflight) {
 	// 2. Kernel + application execution on the pinned core.
-	core := s.sys.Cores[req.Conn%len(s.sys.Cores)]
+	core := s.sys.Cores[r.req.Conn%len(s.sys.Cores)]
 	core.Enqueue(cpu.Work{
-		Duration: req.Service + s.cfg.KernelOverhead,
-		OnStart: func() {
-			// 3. The request's DRAM traffic (dynamic energy; also wakes
-			// CKE-parked channels).
-			s.sys.MemAccess(req.MemAccesses)
-		},
-		OnDone: func() {
-			// 4. NIC DMA out, then the client sees the response one
-			// network latency after arrival processing started.
-			nic.StartTransaction()
-			outWire := nic.ExitDelay() + s.cfg.NICTransfer
-			eng.Schedule(outWire, func() {
-				nic.EndTransaction()
-				e2e := eng.Now() - req.Arrival + s.cfg.NetworkLatency
-				s.lat.Add(e2e.Seconds())
-				s.served++
-				s.inFlight--
-				if done != nil {
-					done()
-				}
-			})
-		},
+		Duration: r.req.Service + s.cfg.KernelOverhead,
+		OnStart:  r.startFn,
+		OnDone:   r.onDoneFn,
 	})
 }

@@ -20,10 +20,13 @@
 // allocations and no interface boxing. Events scheduled for the current
 // instant bypass the heap entirely through a FIFO ring (the common
 // cascade pattern where an event schedules immediate follow-ups).
-// Cancel physically removes the node from the queue, so canceled events
-// cost nothing afterwards and never bloat Pending(). Handles are
-// generation-checked: a stale Event (fired or canceled) can never cancel
-// a recycled node. See DESIGN.md for the full ordering contract.
+// Cancel releases the node immediately but leaves the heap entry behind
+// as a generation-stale tombstone that the scheduler discards when it
+// surfaces; sift operations therefore never maintain back-pointers into
+// the arena, which keeps them branch- and store-light. Pending() counts
+// only live events. Handles are generation-checked: a stale Event (fired
+// or canceled) can never cancel a recycled node. See DESIGN.md for the
+// full ordering contract.
 package sim
 
 import "fmt"
@@ -108,25 +111,31 @@ func (ev Event) Pending() bool {
 // node is one slot of the engine's pooled event arena. A node is live
 // while its event is queued (in the heap or the same-instant ring) and is
 // recycled through the free list once the event fires or is canceled;
-// recycling bumps gen so stale handles die.
+// recycling bumps gen so stale handles — and the canceled event's
+// abandoned heap entry — die. pos records only which queue holds the
+// node, never a position: sift operations would otherwise have to write
+// a back-pointer into the arena on every level they touch.
 type node struct {
 	fn  func()
 	gen uint32
-	pos int32 // heap index when >= 0, posRing, or posFree
+	pos int32 // posHeap, posRing, or posFree
 }
 
 const (
 	posFree int32 = -1
 	posRing int32 = -2
+	posHeap int32 = -3
 )
 
 // heapItem is one entry of the 4-ary min-heap. The ordering key
 // (at, seq) is stored inline so sift comparisons never chase into the
-// node arena.
+// node arena; gen lets the scheduler discard entries whose event was
+// canceled (the node was released, so its generation moved on).
 type heapItem struct {
 	at   Time
 	seq  uint64
 	slot int32
+	gen  uint32
 }
 
 // ringEntry is one entry of the same-instant FIFO ring. seq is stored so
@@ -144,9 +153,10 @@ type Engine struct {
 	now Time
 	seq uint64
 
-	heap  []heapItem
-	nodes []node
-	free  []int32
+	heap     []heapItem
+	heapLive int // heap entries whose event is not canceled
+	nodes    []node
+	free     []int32
 
 	// ring holds events scheduled for exactly the current instant, in
 	// FIFO order; ringHead indexes the next entry, ringLive counts the
@@ -173,8 +183,32 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
 // Pending returns the number of events currently queued. Canceled events
-// are removed immediately and never counted.
-func (e *Engine) Pending() int { return len(e.heap) + e.ringLive }
+// are never counted.
+func (e *Engine) Pending() int { return e.heapLive + e.ringLive }
+
+// Reset returns the engine to its initial state — time zero, empty
+// queue, zero counters — while keeping the node arena and queue storage,
+// so a simulation can be rebuilt on the engine without re-growing any
+// backing array. Every outstanding Event handle goes permanently stale,
+// exactly as if each pending event had been canceled. The free list is
+// stacked so slots are reissued in arena order: a rebuilt simulation
+// sees the same slot numbering a fresh engine would produce, which keeps
+// reset-vs-fresh runs easy to diff event-for-event.
+func (e *Engine) Reset() {
+	e.now, e.seq, e.fired = 0, 0, 0
+	e.heap = e.heap[:0]
+	e.heapLive = 0
+	e.ring = e.ring[:0]
+	e.ringHead, e.ringLive = 0, 0
+	e.free = e.free[:0]
+	for i := len(e.nodes) - 1; i >= 0; i-- {
+		nd := &e.nodes[i]
+		nd.fn = nil
+		nd.gen++
+		nd.pos = posFree
+		e.free = append(e.free, int32(i))
+	}
+}
 
 // Schedule arranges for fn to run after delay d. A negative delay panics:
 // the hardware being modeled cannot signal into the past.
@@ -211,7 +245,9 @@ func (e *Engine) At(t Time, fn func()) Event {
 		e.ring = append(e.ring, ringEntry{seq: seq, slot: slot, gen: nd.gen})
 		e.ringLive++
 	} else {
-		e.heapPush(heapItem{at: t, seq: seq, slot: slot})
+		nd.pos = posHeap
+		e.heapPush(heapItem{at: t, seq: seq, slot: slot, gen: nd.gen})
+		e.heapLive++
 	}
 	return Event{eng: e, at: t, gen: nd.gen, slot: slot}
 }
@@ -239,20 +275,47 @@ func (e *Engine) release(slot int32) {
 	e.free = append(e.free, slot)
 }
 
-// cancel removes the event in slot from the queue if gen still matches.
+// cancel releases the event in slot if gen still matches. The queue
+// entry itself is left behind; releasing bumps the node's generation, so
+// the entry no longer matches and is skipped when it surfaces.
 func (e *Engine) cancel(slot int32, gen uint32) bool {
 	nd := &e.nodes[slot]
 	if nd.gen != gen {
 		return false
 	}
-	if nd.pos >= 0 {
-		e.heapRemove(int(nd.pos))
-	} else {
-		// In the ring: the stale entry is skipped when reached.
+	inRing := nd.pos == posRing
+	e.release(slot) // before compaction, so the dead entry no longer matches
+	if inRing {
 		e.ringLive--
+		return true
 	}
-	e.release(slot)
+	e.heapLive--
+	// Bound tombstone buildup: park/idle timers in the device models are
+	// canceled far more often than they fire, and letting their dead
+	// entries pile up would deepen every subsequent sift. Compact once
+	// half the heap is dead (the 64 floor keeps tiny heaps out of the
+	// amortization).
+	if len(e.heap) >= 64 && e.heapLive*2 <= len(e.heap) {
+		e.compactHeap()
+	}
 	return true
+}
+
+// compactHeap drops canceled entries and re-heapifies. The heap order of
+// the surviving events is unchanged — pops depend only on (time, seq),
+// not on array layout — so compaction is invisible to the simulation.
+func (e *Engine) compactHeap() {
+	w := 0
+	for _, it := range e.heap {
+		if e.nodes[it.slot].gen == it.gen {
+			e.heap[w] = it
+			w++
+		}
+	}
+	e.heap = e.heap[:w]
+	for i := (w - 2) >> 2; i >= 0; i-- {
+		e.heapDown(i)
+	}
 }
 
 // Step executes the next pending event, advancing time to it. It returns
@@ -280,6 +343,12 @@ func (e *Engine) step(limit Time) bool {
 		e.ringHead = 0
 	}
 
+	// Discard canceled entries that have surfaced at the heap top, so the
+	// ring/heap comparison below sees only live events.
+	for len(e.heap) > 0 && e.nodes[e.heap[0].slot].gen != e.heap[0].gen {
+		e.heapPopTop()
+	}
+
 	// Ring entries are at e.now, so they beat any strictly-later heap
 	// entry; a heap entry at the same instant wins on lower seq (it was
 	// scheduled earlier, before time reached this instant).
@@ -289,6 +358,7 @@ func (e *Engine) step(limit Time) bool {
 			return false
 		}
 		e.heapPopTop()
+		e.heapLive--
 		e.now = top.at
 		e.fire(top.slot)
 		return true
@@ -358,23 +428,8 @@ func (e *Engine) heapPopTop() {
 	e.heap = e.heap[:n]
 	if n > 0 {
 		e.heap[0] = last
-		e.nodes[last.slot].pos = 0
 		e.heapDown(0)
 	}
-}
-
-// heapRemove removes the item at index i (true removal on Cancel).
-func (e *Engine) heapRemove(i int) {
-	n := len(e.heap) - 1
-	last := e.heap[n]
-	e.heap = e.heap[:n]
-	if i == n {
-		return
-	}
-	e.heap[i] = last
-	e.nodes[last.slot].pos = int32(i)
-	e.heapDown(i)
-	e.heapUp(int(e.nodes[last.slot].pos))
 }
 
 // heapUp sifts the item at index i toward the root of the 4-ary heap.
@@ -386,11 +441,9 @@ func (e *Engine) heapUp(i int) {
 			break
 		}
 		e.heap[i] = e.heap[p]
-		e.nodes[e.heap[i].slot].pos = int32(i)
 		i = p
 	}
 	e.heap[i] = it
-	e.nodes[it.slot].pos = int32(i)
 }
 
 // heapDown sifts the item at index i toward the leaves of the 4-ary heap.
@@ -416,9 +469,7 @@ func (e *Engine) heapDown(i int) {
 			break
 		}
 		e.heap[i] = e.heap[m]
-		e.nodes[e.heap[i].slot].pos = int32(i)
 		i = m
 	}
 	e.heap[i] = it
-	e.nodes[it.slot].pos = int32(i)
 }

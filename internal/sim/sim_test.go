@@ -380,3 +380,53 @@ func BenchmarkScheduleFire(b *testing.B) {
 		e.Step()
 	}
 }
+
+// TestEngineReset pins the Reset contract: a reset engine replays a
+// schedule exactly as a fresh one would, every outstanding handle goes
+// stale, and the reused arena reissues slots in the order a fresh
+// engine's arena would.
+func TestEngineReset(t *testing.T) {
+	type fire struct {
+		at  Time
+		tag int
+	}
+	drive := func(e *Engine) []fire {
+		var log []fire
+		evs := make([]Event, 0, 8)
+		for i := 0; i < 6; i++ {
+			i := i
+			evs = append(evs, e.Schedule(Duration(10*i), func() { log = append(log, fire{e.Now(), i}) }))
+		}
+		evs[2].Cancel()
+		evs[4].Cancel()
+		e.Schedule(25, func() { log = append(log, fire{e.Now(), 100}) })
+		e.RunUntilQuiescent(100)
+		return log
+	}
+
+	e := NewEngine()
+	first := drive(e)
+	stale := e.Schedule(5, func() { t.Error("pre-reset event fired after Reset") })
+
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.EventsFired() != 0 {
+		t.Fatalf("Reset left state behind: now=%v pending=%d fired=%d",
+			e.Now(), e.Pending(), e.EventsFired())
+	}
+	if stale.Pending() {
+		t.Error("pre-reset handle still pending after Reset")
+	}
+	if stale.Cancel() {
+		t.Error("pre-reset handle cancelable after Reset")
+	}
+
+	second := drive(e)
+	if len(first) != len(second) {
+		t.Fatalf("replay length differs: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}

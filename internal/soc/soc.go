@@ -277,11 +277,26 @@ func (s *System) NICLink() *ios.Link { return s.Links[0] }
 
 // MemAccess performs n interleaved DRAM accesses (round-robin over the
 // two controllers), charging dynamic energy and waking the channels.
+// Each controller receives its round-robin share as one AccessN batch:
+// the controllers are independent, so regrouping the interleaved issue
+// order into per-controller runs leaves every controller's state
+// evolution — and the cross-controller order of everything the
+// completions schedule — unchanged, while same-instant completions
+// collapse into one engine event per controller.
 func (s *System) MemAccess(n int) {
-	for i := 0; i < n; i++ {
-		s.MCs[s.rrNext%len(s.MCs)].Access(nil)
-		s.rrNext++
+	m := len(s.MCs)
+	if n <= 0 || m == 0 {
+		return
 	}
+	base, rem := n/m, n%m
+	for i := 0; i < m; i++ {
+		k := base
+		if i < rem {
+			k++
+		}
+		s.MCs[(s.rrNext+i)%m].AccessN(k)
+	}
+	s.rrNext += n
 }
 
 // PackageState returns the effective package C-state: the APMU's view on

@@ -160,6 +160,13 @@ type Generator struct {
 	nextID  uint64
 	stopAt  sim.Time
 	pending sim.Event
+
+	// arriveFn is the single arrival closure, created once so the
+	// steady-state arrival chain schedules without allocating.
+	arriveFn func()
+	// free holds requests handed back via Release for reuse by later
+	// arrivals.
+	free []*Request
 }
 
 // NewGenerator builds a generator; sink receives each request at its
@@ -168,11 +175,35 @@ func NewGenerator(eng *sim.Engine, spec Spec, seed uint64, sink func(*Request)) 
 	if sink == nil {
 		panic("workload: nil sink")
 	}
-	return &Generator{eng: eng, rng: stats.NewRNG(seed), spec: spec, sink: sink}
+	g := &Generator{eng: eng, rng: stats.NewRNG(seed), spec: spec, sink: sink}
+	g.arriveFn = func() {
+		g.pending = sim.Event{}
+		if g.eng.Now() >= g.stopAt {
+			return
+		}
+		g.emit()
+		g.scheduleNext()
+	}
+	return g
 }
 
 // Spec returns the generator's workload description.
 func (g *Generator) Spec() Spec { return g.spec }
+
+// Reset rewinds the generator to its initial state under a (possibly
+// new) spec and seed, keeping the arrival closure and the request free
+// list so a reused generator emits without allocating from the first
+// arrival on. The caller must have reset (or drained) the engine first:
+// any pending arrival chain died with it, so Reset just forgets the
+// handle. A reset generator is indistinguishable from
+// NewGenerator(eng, spec, seed, sink) on the same engine.
+func (g *Generator) Reset(spec Spec, seed uint64) {
+	g.rng = stats.NewRNG(seed)
+	g.spec = spec
+	g.nextID = 0
+	g.stopAt = 0
+	g.pending = sim.Event{}
+}
 
 // Generated returns how many requests have been emitted.
 func (g *Generator) Generated() uint64 { return g.nextID }
@@ -198,19 +229,19 @@ func (g *Generator) scheduleNext() {
 	if d < 0 {
 		d = 0
 	}
-	g.pending = g.eng.Schedule(d, func() {
-		g.pending = sim.Event{}
-		if g.eng.Now() >= g.stopAt {
-			return
-		}
-		g.emit()
-		g.scheduleNext()
-	})
+	g.pending = g.eng.Schedule(d, g.arriveFn)
 }
 
 func (g *Generator) emit() {
 	svc := g.spec.Service.Sample(g.rng)
-	req := &Request{
+	var req *Request
+	if n := len(g.free); n > 0 {
+		req = g.free[n-1]
+		g.free = g.free[:n-1]
+	} else {
+		req = new(Request)
+	}
+	*req = Request{
 		ID:          g.nextID,
 		Arrival:     g.eng.Now(),
 		Service:     sim.Duration(svc * float64(sim.Second)),
@@ -219,4 +250,13 @@ func (g *Generator) emit() {
 	}
 	g.nextID++
 	g.sink(req)
+}
+
+// Release hands a request back to the generator for reuse by a later
+// arrival, making steady-state generation allocation-free. Only the sink
+// may call it, once per request, after nothing references the request
+// anymore; sinks that retain requests simply never release them and the
+// generator falls back to allocating.
+func (g *Generator) Release(req *Request) {
+	g.free = append(g.free, req)
 }
