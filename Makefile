@@ -4,8 +4,8 @@ GO ?= go
 
 all: build test vet
 
-# build compiles every package and then explicitly links both command
-# binaries, so a main-package-only breakage (apctop once had no tests
+# build compiles every package and then explicitly links every command
+# binary, so a main-package-only breakage (apctop once had no tests
 # and was exercised by nothing but the package walk) fails this target
 # by name. The apctop smoke test (cmd/apctop/main_test.go) additionally
 # runs one observer interval under `make test`.
@@ -13,6 +13,7 @@ build:
 	$(GO) build ./...
 	$(GO) build -o /dev/null ./cmd/apcsim
 	$(GO) build -o /dev/null ./cmd/apctop
+	$(GO) build -o /dev/null ./cmd/tracegen
 
 test:
 	$(GO) test ./...
@@ -56,7 +57,7 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark suite: benchstat-comparable text in bench.txt plus a
-# machine-readable snapshot (BENCH_pr7.json by default; pass the next
+# machine-readable snapshot (BENCH_pr8.json by default; pass the next
 # PR's name as the second bench.sh argument) recording the perf
 # trajectory.
 bench:
@@ -64,7 +65,7 @@ bench:
 
 # The alloc-regression gate: reruns the suite into bench-gate.json and
 # fails if any benchmark allocates more per op than the committed
-# BENCH_pr7.json baseline (ns/op drift only warns). CI runs this on
+# BENCH_pr8.json baseline (ns/op drift only warns). CI runs this on
 # every push.
 benchgate:
 	scripts/benchgate.sh

@@ -27,6 +27,7 @@ import (
 	"agilepkgc/internal/sim"
 	"agilepkgc/internal/soc"
 	"agilepkgc/internal/workload"
+	"agilepkgc/internal/workload/replay"
 )
 
 // benchOptions keeps per-iteration virtual time moderate so the full
@@ -263,4 +264,56 @@ func BenchmarkFleetRoutingFaults(b *testing.B) {
 		MaxRetries:     2,
 		HedgeDelay:     500 * sim.Microsecond,
 	})
+}
+
+// BenchmarkFleetRoutingReplay prices the recorded-arrival hot path: the
+// same 8-server power_aware fleet as BenchmarkFleetRouting, driven by a
+// looping in-memory recording of the identical bursty stream instead of
+// the live generator. The delta against BenchmarkFleetRouting is the
+// cost of streamed decode + absolute-time scheduling, and the allocs/op
+// gate pins it at zero like the synthetic path.
+func BenchmarkFleetRoutingReplay(b *testing.B) {
+	b.ReportAllocs()
+	var buf replay.MemBuffer
+	if _, err := replay.Synthesize(&buf, workload.MemcachedBursty(300000, 8), 1, 0, 20*sim.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := buf.Seek(0, 0); err != nil {
+		b.Fatal(err)
+	}
+	rd, err := replay.NewReader(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rp, err := replay.New(rd, replay.Options{Loop: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := make([]cluster.MemberConfig, 8)
+	for i := range members {
+		scfg := server.DefaultConfig()
+		scfg.Seed = 1
+		members[i] = cluster.MemberConfig{SoC: soc.DefaultConfig(soc.CPC1A), Server: scfg}
+	}
+	fl, err := cluster.New(cluster.Config{
+		Policy:    cluster.PowerAware,
+		P99Target: 300 * sim.Microsecond,
+		Topology:  cluster.Flat(8),
+		Members:   members,
+		NewSource: func(eng *sim.Engine, _ workload.Spec, _ uint64, sink func(*workload.Request)) workload.Source {
+			if err := rp.Bind(eng, sink); err != nil {
+				b.Fatal(err)
+			}
+			return rp
+		},
+	}, rd.Header().Spec(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fl.Run(sim.Millisecond) // prime the pipeline outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.Run(sim.Millisecond)
+	}
+	b.ReportMetric(float64(fl.Generated())/float64(b.N+1), "req/iter")
 }

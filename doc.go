@@ -30,7 +30,14 @@
 //	                      evaluated configurations (Cshallow, Cdeep, CPC1A)
 //	internal/power        piecewise-constant power/energy accounting
 //	internal/workload     Memcached/MySQL/Kafka open-loop streams and a
-//	                      closed-loop sysbench client
+//	                      closed-loop sysbench client, behind a Source
+//	                      seam that also admits recorded streams
+//	internal/workload/replay
+//	                      the binary arrival-trace format: a fuzzed
+//	                      zero-copy decoder, a deterministic recorder,
+//	                      and a Replay source that reproduces a
+//	                      recorded stream byte-identically to the
+//	                      generator that made it
 //	internal/server       the software stack of one service instance:
 //	                      NIC DMA, kernel overhead, core dispatch,
 //	                      client-observed latency
@@ -55,9 +62,11 @@
 // # Entry points
 //
 // cmd/apcsim regenerates any subset of the paper's evaluation
-// (`apcsim list`, `apcsim run all`, `apcsim scenario file.json`) and
+// (`apcsim list`, `apcsim run all`, `apcsim scenario file.json`),
 // cmd/apctop is a live TUI over a simulated machine's MSR/PMU readout
-// surfaces. The examples/ directory holds small programmatic drivers.
+// surfaces, and cmd/tracegen authors and inspects the binary arrival
+// traces that scenarios replay (`tracegen synth|convert|dump`). The
+// examples/ directory holds small programmatic drivers.
 //
 // Every run is reproducible: same seed, bit-identical traces, at any
 // parallelism. README.md is the tour; DESIGN.md documents the engine

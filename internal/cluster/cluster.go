@@ -8,8 +8,10 @@
 // and response on every machine is an event in a single (time, sequence)
 // order, so a fleet run is exactly as reproducible as a single-machine
 // run — same seed, bit-identical traces. The aggregate request stream is
-// produced by one workload.Generator seeded from the caller's seed, and
-// a routing policy assigns each arrival to a member:
+// produced by one workload.Source — the synthetic workload.Generator
+// seeded from the caller's seed by default, or a custom source (e.g.
+// trace replay, Config.NewSource) — and a routing policy assigns each
+// arrival to a member:
 //
 //	round_robin      — arrival i goes to server i mod N.
 //	least_loaded     — fewest in-flight requests; ties break to the
@@ -221,6 +223,16 @@ type Config struct {
 	// Members configures each server; the slice index is the server id
 	// routing policies and reports use.
 	Members []MemberConfig
+	// NewSource, when non-nil, replaces the synthetic workload generator:
+	// build calls it with the fleet's engine, spec, seed and routing sink
+	// and drives whatever Source it returns through the same Start/drain
+	// window protocol. Trace replay (internal/workload/replay) plugs in
+	// here. The factory runs once per build or Reset — it must return a
+	// source bound to the engine it is handed, never a stale one — and
+	// the spec should describe the replayed stream (rate, service mean)
+	// since the packing caps are derived from it. Nil keeps the synthetic
+	// generator path byte for byte.
+	NewSource func(eng *sim.Engine, spec workload.Spec, seed uint64, sink func(*workload.Request)) workload.Source
 }
 
 // member is one server plus the balancer's bookkeeping for it. Policy
@@ -280,7 +292,7 @@ type Fleet struct {
 	cfg  Config
 	topo Topology
 	spec workload.Spec
-	gen  *workload.Generator
+	gen  workload.Source
 
 	members []*member
 	byRack  [][]*member
@@ -456,10 +468,18 @@ func (f *Fleet) build(cfg Config, topo Topology, spec workload.Spec, seed uint64
 	f.initTree()
 	f.initController()
 	f.initFaults(seed)
-	if f.gen == nil {
-		f.gen = workload.NewGenerator(f.eng, spec, seed, f.route)
-	} else {
-		f.gen.Reset(spec, seed)
+	switch {
+	case cfg.NewSource != nil:
+		f.gen = cfg.NewSource(f.eng, spec, seed, f.route)
+	default:
+		// Synthetic path: reuse the cached generator (its arrival closure
+		// and request pool) when the previous point had one; a fleet that
+		// last ran a custom source rebuilds it.
+		if g, ok := f.gen.(*workload.Generator); ok {
+			g.Reset(spec, seed)
+		} else {
+			f.gen = workload.NewGenerator(f.eng, spec, seed, f.route)
+		}
 	}
 }
 

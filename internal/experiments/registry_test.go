@@ -13,7 +13,7 @@ func TestRegistryCanonicalOrder(t *testing.T) {
 		"fig5", "fig6", "fig7", "fig8", "fig9",
 		"area", "sensitivity", "batching", "remote",
 		"cluster-scaling", "cluster-policy", "rack-packing",
-		"drain-hysteresis", "fault-resilience",
+		"drain-hysteresis", "fault-resilience", "trace-replay",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry order = %v, want %v", got, want)

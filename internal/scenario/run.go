@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -16,6 +17,7 @@ import (
 	"agilepkgc/internal/soc"
 	"agilepkgc/internal/trace"
 	"agilepkgc/internal/workload"
+	"agilepkgc/internal/workload/replay"
 )
 
 // Point is the measured outcome of one scenario operating point.
@@ -163,7 +165,11 @@ func (s Scenario) Run(opt experiments.Options) (*Result, error) {
 		if pt.Cluster != nil {
 			cores *= pt.Cluster.Servers
 		}
-		if _, _, err := pt.Workload.spec(cores); err != nil {
+		if pt.Workload.Service == "trace" {
+			if err := pt.Workload.Trace.preflight(); err != nil {
+				return nil, pointErr(err)
+			}
+		} else if _, _, err := pt.Workload.spec(cores); err != nil {
 			return nil, pointErr(err)
 		}
 		if pt.Cluster != nil {
@@ -246,7 +252,41 @@ func (s *Scenario) clusterMembers(kind soc.ConfigKind, seed uint64) []cluster.Me
 func runClusterOne(sc Scenario, axisValue float64, axisLabel string, opt experiments.Options, reuse *cluster.Reuse) Point {
 	kind, _ := soc.ParseConfigKind(sc.Config)
 	pol, _ := cluster.ParsePolicy(sc.Cluster.Policy)
-	spec, _, _ := sc.Workload.spec(sc.Cluster.Servers * soc.DefaultConfig(kind).CoreCount)
+
+	// A trace point replays a recorded stream instead of a synthetic
+	// generator: the spec comes from the trace header (so packing caps
+	// and report fields match the recorded workload bit for bit) and the
+	// fleet's source factory binds a Replay over the open file. The file
+	// is opened and closed per point — no descriptor outlives the
+	// measurement, and the per-worker fleet cache stays file-agnostic.
+	var spec workload.Spec
+	var newSource func(*sim.Engine, workload.Spec, uint64, func(*workload.Request)) workload.Source
+	if sc.Workload.Service == "trace" {
+		t := sc.Workload.Trace
+		f, err := os.Open(t.Path)
+		if err != nil {
+			// Unreachable after preflight; see the fleet-error panic below.
+			panic(fmt.Sprintf("scenario %q: %v", sc.Name, err))
+		}
+		defer f.Close()
+		rd, err := replay.NewReader(f)
+		if err != nil {
+			panic(fmt.Sprintf("scenario %q: %v", sc.Name, err))
+		}
+		spec = rd.Header().Spec()
+		rp, err := replay.New(rd, replay.Options{TimeScale: t.TimeScale, Loop: t.Loop})
+		if err != nil {
+			panic(fmt.Sprintf("scenario %q: %v", sc.Name, err))
+		}
+		newSource = func(eng *sim.Engine, _ workload.Spec, _ uint64, sink func(*workload.Request)) workload.Source {
+			if err := rp.Bind(eng, sink); err != nil {
+				panic(fmt.Sprintf("scenario %q: %v", sc.Name, err))
+			}
+			return rp
+		}
+	} else {
+		spec, _, _ = sc.Workload.spec(sc.Cluster.Servers * soc.DefaultConfig(kind).CoreCount)
+	}
 	// An absent racks field keeps the zero-value topology; an explicit
 	// "racks": 1 goes through the Topology path as Flat(N). Both
 	// assemble the identical event sequence — and therefore identical
@@ -266,6 +306,7 @@ func runClusterOne(sc Scenario, axisValue float64, axisLabel string, opt experim
 		FeedbackEpoch: us(sc.Cluster.FeedbackEpochUS),
 		Faults:        sc.Cluster.Faults.config(),
 		Members:       sc.clusterMembers(kind, opt.Seed),
+		NewSource:     newSource,
 	}, spec, opt.Seed)
 	if err != nil {
 		// Unreachable after Validate + validateClusterPoint; a panic here

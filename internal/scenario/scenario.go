@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 
@@ -52,6 +53,7 @@ import (
 	"agilepkgc/internal/sim"
 	"agilepkgc/internal/soc"
 	"agilepkgc/internal/workload"
+	"agilepkgc/internal/workload/replay"
 )
 
 // Scenario is one declarative experiment specification.
@@ -201,7 +203,8 @@ func (f *Faults) config() cluster.FaultConfig {
 // drive instead.
 type Workload struct {
 	// Service is one of "memcached", "memcached-bursty", "mysql",
-	// "kafka" or "sysbench" (closed-loop).
+	// "kafka", "sysbench" (closed-loop) or "trace" (recorded arrivals,
+	// configured by the Trace block).
 	Service string `json:"service"`
 	// QPS is the open-loop arrival rate (memcached family).
 	QPS float64 `json:"qps,omitempty"`
@@ -217,6 +220,31 @@ type Workload struct {
 	// ThinkMS is the closed-loop mean think time in milliseconds
 	// (sysbench).
 	ThinkMS float64 `json:"think_ms,omitempty"`
+	// Trace configures the "trace" service: a recorded arrival stream
+	// replayed from a binary trace file (see internal/workload/replay
+	// and cmd/tracegen).
+	Trace *Trace `json:"trace,omitempty"`
+}
+
+// Trace points the "trace" service at a recorded arrival stream. The
+// workload identity (name, rates, connections) comes from the trace
+// header, so none of the synthetic rate fields apply.
+type Trace struct {
+	// Path is the trace file. Relative paths resolve against the
+	// directory of the JSON file that named them (LoadFile), so example
+	// scenarios can sit next to their traces.
+	Path string `json:"path"`
+	// TimeScale multiplies arrival timestamps: 0.5 replays at double
+	// speed, 2 at half speed. 0 or 1 replays in recorded time, with
+	// integer timestamps preserved bit for bit.
+	TimeScale float64 `json:"time_scale,omitempty"`
+	// Loop restarts the trace when it runs out, shifting each iteration
+	// by the trace's last timestamp; without it replay simply stops
+	// when the records do (the measurement window truncates the trace).
+	Loop bool `json:"loop,omitempty"`
+	// Truncate states the default end-of-trace behavior explicitly.
+	// Setting it together with loop is a contradiction and rejected.
+	Truncate bool `json:"truncate,omitempty"`
 }
 
 // Overrides adjusts server.Config knobs. Pointer fields distinguish
@@ -343,6 +371,9 @@ var workloadAxes = map[string]map[string]bool{
 	"mysql":            {AxisLoad: true},
 	"kafka":            {AxisLoad: true},
 	"sysbench":         {AxisThreads: true},
+	// A trace's arrival stream is recorded: no workload axis can change
+	// it, so every workload-side sweep is rejected as inert.
+	"trace": {},
 }
 
 // Axes returns the supported sweep axis names, sorted.
@@ -439,11 +470,14 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	switch s.Workload.Service {
-	case "memcached", "memcached-bursty", "mysql", "kafka", "sysbench":
+	case "memcached", "memcached-bursty", "mysql", "kafka", "sysbench", "trace":
 	case "":
 		return fmt.Errorf("scenario %q: missing workload.service", s.Name)
 	default:
 		return fmt.Errorf("scenario %q: unknown workload.service %q", s.Name, s.Workload.Service)
+	}
+	if err := s.validateTrace(); err != nil {
+		return err
 	}
 	if s.Sweep != nil {
 		if !knownAxes[s.Sweep.Axis] {
@@ -672,6 +706,44 @@ func (s *Scenario) validateFaults(sweepAxis string) error {
 	return nil
 }
 
+// validateTrace checks the workload.trace block with validateFaults'
+// rigor: every field must be able to act. A trace block on a synthetic
+// service would be silently ignored; a synthetic rate field on the
+// trace service could never act (the stream is recorded); loop and
+// truncate contradict each other; and replay is fleet-only, so a trace
+// without a cluster block has no machine to drive (a 1-server fleet is
+// the single-machine case).
+func (s *Scenario) validateTrace() error {
+	t := s.Workload.Trace
+	if s.Workload.Service != "trace" {
+		if t != nil {
+			return fmt.Errorf("scenario %q: workload.trace only applies to the %q service — on %q it would be silently ignored",
+				s.Name, "trace", s.Workload.Service)
+		}
+		return nil
+	}
+	if t == nil {
+		return fmt.Errorf("scenario %q: the trace service needs a workload.trace block", s.Name)
+	}
+	if t.Path == "" {
+		return fmt.Errorf("scenario %q: missing workload.trace.path", s.Name)
+	}
+	w := s.Workload
+	if w.QPS != 0 || w.Util != 0 || w.Load != 0 || w.Burstiness != 0 || w.Threads != 0 || w.ThinkMS != 0 {
+		return fmt.Errorf("scenario %q: synthetic rate fields (qps/util/load/burstiness/threads/think_ms) cannot apply to a recorded trace — its stream is fixed", s.Name)
+	}
+	if t.TimeScale < 0 {
+		return fmt.Errorf("scenario %q: negative workload.trace.time_scale", s.Name)
+	}
+	if t.Loop && t.Truncate {
+		return fmt.Errorf("scenario %q: workload.trace.loop and truncate contradict each other — pick one", s.Name)
+	}
+	if s.Cluster == nil {
+		return fmt.Errorf("scenario %q: the trace service needs a cluster block (use servers: 1 for a single machine)", s.Name)
+	}
+	return nil
+}
+
 // spec builds the workload for one fully-applied scenario point.
 // Closed-loop services (sysbench) return ok=false and are handled by
 // the closed-loop path in run.go.
@@ -715,6 +787,10 @@ func (w Workload) spec(cores int) (spec workload.Spec, open bool, err error) {
 			return spec, false, fmt.Errorf("sysbench: negative think_ms")
 		}
 		return spec, false, nil
+	case "trace":
+		// The runner resolves trace specs from the trace header before
+		// it ever needs a synthetic spec; reaching this is a bug.
+		return spec, false, fmt.Errorf("trace: spec comes from the trace header, not the workload fields")
 	default:
 		return spec, false, fmt.Errorf("unknown service %q", w.Service)
 	}
@@ -722,16 +798,25 @@ func (w Workload) spec(cores int) (spec workload.Spec, open bool, err error) {
 
 // Load decodes one scenario or a JSON array of scenarios, rejecting
 // unknown fields so typos fail loudly instead of silently running the
-// defaults.
+// defaults. Relative trace paths resolve against the current
+// directory; use LoadFile to resolve them against the JSON file's.
 func Load(r io.Reader) ([]Scenario, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
+	return load(data, "")
+}
+
+// load decodes, validates and — for trace scenarios — preflights the
+// trace file, so a missing or malformed trace fails at load with the
+// line and column of the path that named it, not mid-run.
+func load(data []byte, baseDir string) ([]Scenario, error) {
 	trimmed := bytes.TrimLeft(data, " \t\r\n")
 	var scs []Scenario
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
+	var err error
 	if len(trimmed) > 0 && trimmed[0] == '[' {
 		err = dec.Decode(&scs)
 	} else {
@@ -750,8 +835,78 @@ func Load(r io.Reader) ([]Scenario, error) {
 		if err := scs[i].Validate(); err != nil {
 			return nil, err
 		}
+		if err := scs[i].preflightTrace(baseDir, data); err != nil {
+			return nil, err
+		}
 	}
 	return scs, nil
+}
+
+// preflightTrace opens and header-checks the trace file behind a
+// validated trace scenario, resolving a relative path against baseDir
+// (the JSON file's directory) and rewriting Trace.Path to the resolved
+// form so the runner opens the same file. Failures are located at the
+// line and column of the path string in the JSON source.
+func (s *Scenario) preflightTrace(baseDir string, data []byte) error {
+	if s.Workload.Service != "trace" {
+		return nil
+	}
+	t := s.Workload.Trace
+	orig := t.Path
+	if baseDir != "" && !filepath.IsAbs(t.Path) {
+		t.Path = filepath.Join(baseDir, t.Path)
+	}
+	if err := t.preflight(); err != nil {
+		return fmt.Errorf("scenario %q: workload.trace.path: %w", s.Name, locatePathError(data, orig, err))
+	}
+	return nil
+}
+
+// preflight verifies the trace file exists and carries a valid,
+// non-empty, loop-compatible header — everything replay needs short of
+// reading the records. The runner repeats it per resolved point so
+// programmatically-built scenarios (which never went through Load) fail
+// before any simulation runs.
+func (t *Trace) preflight() error {
+	f, err := os.Open(t.Path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd, err := replay.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", t.Path, err)
+	}
+	h := rd.Header()
+	if h.Count == 0 {
+		return fmt.Errorf("%s: empty trace — nothing to replay", t.Path)
+	}
+	if t.Loop && h.LastTS <= 0 {
+		return fmt.Errorf("%s: cannot loop a trace whose last timestamp is 0", t.Path)
+	}
+	return nil
+}
+
+// locatePathError prefixes an error with the line and column of the
+// given string value in the JSON source, found by its encoded form.
+// If the string cannot be located (it appears zero times or more than
+// once), the error passes through unchanged.
+func locatePathError(data []byte, value string, err error) error {
+	quoted, merr := json.Marshal(value)
+	if merr != nil {
+		return err
+	}
+	idx := bytes.Index(data, quoted)
+	if idx < 0 || bytes.Index(data[idx+1:], quoted) >= 0 {
+		return err
+	}
+	prefix := data[:idx]
+	line := 1 + bytes.Count(prefix, []byte("\n"))
+	col := int64(idx) - int64(bytes.LastIndexByte(prefix, '\n'))
+	if col < 1 {
+		col = 1
+	}
+	return fmt.Errorf("line %d, column %d: %w", line, col, err)
 }
 
 // locateJSONError prefixes decoding errors that carry a byte offset
@@ -786,14 +941,15 @@ func locateJSONError(data []byte, err error) error {
 	return fmt.Errorf("line %d, column %d (byte %d): %w", line, col, off, err)
 }
 
-// LoadFile reads scenarios from a JSON file.
+// LoadFile reads scenarios from a JSON file. Relative trace paths
+// resolve against the file's directory, so a scenario can name a trace
+// sitting next to it.
 func LoadFile(path string) ([]Scenario, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	scs, err := Load(f)
+	scs, err := load(data, filepath.Dir(path))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

@@ -1,0 +1,171 @@
+package replay_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"agilepkgc/internal/experiments"
+	"agilepkgc/internal/scenario"
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/soc"
+	"agilepkgc/internal/workload"
+	"agilepkgc/internal/workload/replay"
+)
+
+// parityKinds pairs each generator family's scenario workload with the
+// spec constructor the scenario layer resolves it to, so the test can
+// synthesize the exact stream the synthetic run will generate.
+var parityKinds = []struct {
+	name string
+	wl   scenario.Workload
+	spec func(cores int) workload.Spec
+}{
+	{"memcached", scenario.Workload{Service: "memcached", QPS: 40000},
+		func(int) workload.Spec { return workload.Memcached(40000) }},
+	{"memcached-bursty", scenario.Workload{Service: "memcached-bursty", QPS: 40000, Burstiness: 8},
+		func(int) workload.Spec { return workload.MemcachedBursty(40000, 8) }},
+	{"mysql", scenario.Workload{Service: "mysql", Load: 0.16},
+		func(cores int) workload.Spec { return workload.MySQL(0.16, cores) }},
+	{"kafka", scenario.Workload{Service: "kafka", Load: 0.16},
+		func(cores int) workload.Spec { return workload.Kafka(0.16, cores) }},
+}
+
+// synthesizeFor records the spec's generator into a trace file under
+// dir, through the same (warmup, duration) window split the runner
+// will drive.
+func synthesizeFor(t *testing.T, dir string, spec workload.Spec, seed uint64, opt experiments.Options) string {
+	t.Helper()
+	path := filepath.Join(dir, spec.Name+".trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := replay.Synthesize(f, spec, seed, opt.Warmup(), opt.Duration); err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	return path
+}
+
+// runBytes renders a result's CSV bytes and its report table (the
+// report minus its first line — the header names the service, which is
+// "trace" on one side and the generator on the other by construction;
+// every measured byte below it must match).
+func runBytes(t *testing.T, sc scenario.Scenario, opt experiments.Options) (csv, table string) {
+	t.Helper()
+	res, err := sc.Run(opt)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", sc.Workload.Service, err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	report := res.Report()
+	if i := strings.IndexByte(report, '\n'); i >= 0 {
+		report = report[i+1:]
+	}
+	return buf.String(), report
+}
+
+// TestReplayMatchesSynthetic is the tentpole's parity contract: a trace
+// synthesized from a generator and replayed through the scenario runner
+// produces byte-identical measurements — CSV and report table — to
+// running the synthetic generator directly, for every generator family
+// and across seeds. Nothing is approximately equal here: the replayed
+// fleet must schedule the identical event sequence.
+func TestReplayMatchesSynthetic(t *testing.T) {
+	const servers = 2
+	cores := servers * soc.DefaultConfig(soc.CPC1A).CoreCount
+	seeds := []uint64{1, 7, 42}
+	for _, k := range parityKinds {
+		for _, seed := range seeds {
+			t.Run(k.name, func(t *testing.T) {
+				opt := experiments.Options{Duration: 20 * sim.Millisecond, Seed: seed, Parallelism: 1}
+				path := synthesizeFor(t, t.TempDir(), k.spec(cores), seed, opt)
+
+				base := scenario.Scenario{
+					Name:    "parity",
+					Config:  "CPC1A",
+					Cluster: &scenario.Cluster{Servers: servers, Policy: "round_robin"},
+				}
+				synth := base
+				synth.Workload = k.wl
+				traced := base
+				traced.Workload = scenario.Workload{
+					Service: "trace",
+					Trace:   &scenario.Trace{Path: path},
+				}
+
+				wantCSV, wantTable := runBytes(t, synth, opt)
+				gotCSV, gotTable := runBytes(t, traced, opt)
+				if gotCSV != wantCSV {
+					t.Errorf("seed %d: replayed CSV diverged from synthetic:\nsynthetic:\n%s\nreplay:\n%s",
+						seed, wantCSV, gotCSV)
+				}
+				if gotTable != wantTable {
+					t.Errorf("seed %d: replayed report diverged from synthetic:\nsynthetic:\n%s\nreplay:\n%s",
+						seed, wantTable, gotTable)
+				}
+				if !strings.Contains(gotCSV, k.spec(cores).Name) {
+					t.Errorf("seed %d: replayed CSV does not carry the recorded workload name %q:\n%s",
+						seed, k.spec(cores).Name, gotCSV)
+				}
+			})
+		}
+	}
+}
+
+// TestReplayParitySweepParallel extends the parity contract across a
+// sweep: the same trace replayed at every point of a policy sweep
+// matches the synthetic sweep byte for byte, serially and at
+// parallelism 4 — replay points, like synthetic ones, must be pure
+// functions of (options, point).
+func TestReplayParitySweepParallel(t *testing.T) {
+	const servers = 4
+	spec := workload.MemcachedBursty(40000, 8)
+	opt := experiments.Options{Duration: 15 * sim.Millisecond, Seed: 7, Parallelism: 1}
+	path := synthesizeFor(t, t.TempDir(), spec, opt.Seed, opt)
+
+	base := scenario.Scenario{
+		Name:   "parity-sweep",
+		Config: "CPC1A",
+		Cluster: &scenario.Cluster{
+			Servers:     servers,
+			P99TargetUS: 300,
+		},
+		Sweep: &scenario.Sweep{
+			Axis:     scenario.AxisPolicy,
+			Policies: []string{"round_robin", "least_loaded", "power_aware"},
+		},
+	}
+	synth := base
+	synth.Workload = scenario.Workload{Service: "memcached-bursty", QPS: 40000, Burstiness: 8}
+	traced := base
+	traced.Workload = scenario.Workload{Service: "trace", Trace: &scenario.Trace{Path: path}}
+
+	wantCSV, wantTable := runBytes(t, synth, opt)
+	variants := []struct {
+		name string
+		sc   scenario.Scenario
+		par  int
+	}{
+		{"synthetic parallel", synth, 4},
+		{"replay serial", traced, 1},
+		{"replay parallel", traced, 4},
+	}
+	for _, v := range variants {
+		o := opt
+		o.Parallelism = v.par
+		gotCSV, gotTable := runBytes(t, v.sc, o)
+		if gotCSV != wantCSV {
+			t.Errorf("%s: CSV diverged from serial synthetic:\nwant:\n%s\ngot:\n%s", v.name, wantCSV, gotCSV)
+		}
+		if gotTable != wantTable {
+			t.Errorf("%s: report diverged from serial synthetic:\nwant:\n%s\ngot:\n%s", v.name, wantTable, gotTable)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package replay
+
+import (
+	"io"
+
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/workload"
+)
+
+// Synthesize records the spec's synthetic generator into a trace,
+// deterministically from the seed: it runs a real workload.Generator on
+// a bare engine through the same two-window Start protocol a measured
+// fleet drives (warmup to warmup+duration back to back) and appends
+// every emission at its absolute engine time. Replaying the result
+// through the same warmup/duration split reproduces the generator's
+// emission sequence — IDs, instants, service demands, connections —
+// exactly, which is the replay≡synthetic parity contract
+// (TestReplayMatchesSynthetic locks it at the report-byte level).
+//
+// The two-window structure matters: Start draws a fresh inter-arrival
+// gap and discards the pending one, so the emission stream depends on
+// where the window boundary falls. A trace synthesized with one
+// (warmup, duration) split is byte-faithful only for runs using the
+// same split.
+func Synthesize(ws io.WriteSeeker, spec workload.Spec, seed uint64, warmup, duration sim.Duration) (Header, error) {
+	wr, err := NewWriter(ws, Meta{
+		Name:        spec.Name,
+		MeanQPS:     spec.MeanQPS(),
+		ServiceMean: spec.Service.Mean(),
+		Connections: spec.Connections,
+		MemAccesses: spec.MemAccesses,
+	})
+	if err != nil {
+		return Header{}, err
+	}
+	eng := sim.NewEngine()
+	var gen *workload.Generator
+	var werr error
+	gen = workload.NewGenerator(eng, spec, seed, func(req *workload.Request) {
+		if werr == nil {
+			werr = wr.Append(Record{
+				TS:      req.Arrival,
+				Service: req.Service,
+				Conn:    uint32(req.Conn),
+				Mem:     uint32(req.MemAccesses),
+			})
+		}
+		gen.Release(req)
+	})
+	w1 := warmup
+	w2 := warmup + duration
+	gen.Start(w1)
+	eng.Run(w1)
+	gen.Start(w2)
+	eng.Run(w2)
+	gen.Stop()
+	if werr != nil {
+		return Header{}, werr
+	}
+	return wr.Close()
+}

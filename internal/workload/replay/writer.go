@@ -1,0 +1,217 @@
+package replay
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+
+	"agilepkgc/internal/sim"
+)
+
+// Meta is the workload identity a Writer stamps into the header. The
+// stream-derived fields (count, first/last timestamp, checksum) are
+// computed while records are appended and written at Close.
+type Meta struct {
+	Name        string
+	MeanQPS     float64
+	ServiceMean float64
+	Connections int
+	MemAccesses int
+}
+
+// Writer streams records into a trace file: a placeholder header goes
+// out first so records append behind it without buffering the file, and
+// Close seeks back to stamp the final count, timestamp range and
+// checksum. The destination must therefore support seeking (os.File
+// and MemBuffer both do).
+type Writer struct {
+	ws     io.WriteSeeker
+	bw     *bufio.Writer
+	meta   Meta
+	count  uint64
+	first  sim.Time
+	last   sim.Time
+	crc    uint64
+	buf    [RecordSize]byte
+	closed bool
+}
+
+// NewWriter writes the provisional header and returns a writer ready
+// for Append. The meta fields must be coherent (non-empty name within
+// the length bound, positive connection count) — they become the
+// replayed fleet's spec.
+func NewWriter(ws io.WriteSeeker, meta Meta) (*Writer, error) {
+	if meta.Name == "" {
+		return nil, fmt.Errorf("replay: trace needs a workload name")
+	}
+	if len(meta.Name) > maxNameLen {
+		return nil, fmt.Errorf("replay: workload name longer than %d bytes", maxNameLen)
+	}
+	if meta.Connections < 1 {
+		return nil, fmt.Errorf("replay: trace needs connections >= 1")
+	}
+	if meta.MemAccesses < 0 {
+		return nil, fmt.Errorf("replay: negative mem accesses")
+	}
+	w := &Writer{ws: ws, bw: bufio.NewWriter(ws), meta: meta}
+	if err := w.writeHeader(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// writeHeader emits the header with the current stream-derived fields.
+func (w *Writer) writeHeader() error {
+	var h [headerSize]byte
+	copy(h[0:8], Magic)
+	le := binary.LittleEndian
+	le.PutUint32(h[8:12], Version)
+	le.PutUint32(h[12:16], uint32(len(w.meta.Name)))
+	le.PutUint64(h[16:24], w.count)
+	le.PutUint64(h[24:32], uint64(w.first))
+	le.PutUint64(h[32:40], uint64(w.last))
+	le.PutUint64(h[40:48], math.Float64bits(w.meta.MeanQPS))
+	le.PutUint64(h[48:56], math.Float64bits(w.meta.ServiceMean))
+	le.PutUint32(h[56:60], uint32(w.meta.Connections))
+	le.PutUint32(h[60:64], uint32(w.meta.MemAccesses))
+	le.PutUint64(h[64:72], w.crc)
+	if _, err := w.bw.Write(h[:]); err != nil {
+		return err
+	}
+	_, err := w.bw.WriteString(w.meta.Name)
+	return err
+}
+
+// Append adds one record. Timestamps must be non-decreasing and
+// non-negative — the reader enforces the same ordering, so a writer
+// that breaks it would produce a file its own reader rejects.
+func (w *Writer) Append(rec Record) error {
+	if w.closed {
+		return fmt.Errorf("replay: Append on closed writer")
+	}
+	if rec.TS < 0 || rec.Service < 0 {
+		return fmt.Errorf("replay: negative timestamp or service time in record %d", w.count)
+	}
+	if w.count > 0 && rec.TS < w.last {
+		return fmt.Errorf("replay: record %d timestamp %d before predecessor %d", w.count, rec.TS, w.last)
+	}
+	le := binary.LittleEndian
+	le.PutUint64(w.buf[0:8], uint64(rec.TS))
+	le.PutUint64(w.buf[8:16], uint64(rec.Service))
+	le.PutUint32(w.buf[16:20], rec.Conn)
+	le.PutUint32(w.buf[20:24], rec.Mem)
+	if _, err := w.bw.Write(w.buf[:]); err != nil {
+		return err
+	}
+	w.crc = crc64.Update(w.crc, crcTable, w.buf[:])
+	if w.count == 0 {
+		w.first = rec.TS
+	}
+	w.last = rec.TS
+	w.count++
+	return nil
+}
+
+// Count returns how many records have been appended.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close flushes the records, rewrites the header with the final count,
+// timestamp range and checksum, and returns the completed header.
+func (w *Writer) Close() (Header, error) {
+	if w.closed {
+		return Header{}, fmt.Errorf("replay: double Close")
+	}
+	w.closed = true
+	if err := w.bw.Flush(); err != nil {
+		return Header{}, err
+	}
+	if _, err := w.ws.Seek(0, io.SeekStart); err != nil {
+		return Header{}, err
+	}
+	w.bw.Reset(w.ws)
+	if err := w.writeHeader(); err != nil {
+		return Header{}, err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return Header{}, err
+	}
+	// Leave the cursor after the last record so appending destinations
+	// (e.g. a file handed to another writer) are not surprised.
+	end := int64(headerSize) + int64(len(w.meta.Name)) + int64(w.count)*RecordSize
+	if _, err := w.ws.Seek(end, io.SeekStart); err != nil {
+		return Header{}, err
+	}
+	return Header{
+		Name:        w.meta.Name,
+		Count:       w.count,
+		FirstTS:     w.first,
+		LastTS:      w.last,
+		MeanQPS:     w.meta.MeanQPS,
+		ServiceMean: w.meta.ServiceMean,
+		Connections: w.meta.Connections,
+		MemAccesses: w.meta.MemAccesses,
+		CRC:         w.crc,
+	}, nil
+}
+
+// MemBuffer is an in-memory io.WriteSeeker/io.ReadSeeker, the trace
+// equivalent of bytes.Buffer for destinations that must support the
+// writer's header rewrite: tests and the registered trace-replay
+// experiment synthesize traces into one instead of touching disk.
+type MemBuffer struct {
+	buf []byte
+	pos int64
+}
+
+// Write implements io.Writer at the current position, growing the
+// buffer as needed.
+func (b *MemBuffer) Write(p []byte) (int, error) {
+	if need := b.pos + int64(len(p)); need > int64(len(b.buf)) {
+		if need > int64(cap(b.buf)) {
+			grown := make([]byte, need, max(need, int64(2*cap(b.buf))))
+			copy(grown, b.buf)
+			b.buf = grown
+		} else {
+			b.buf = b.buf[:need]
+		}
+	}
+	copy(b.buf[b.pos:], p)
+	b.pos += int64(len(p))
+	return len(p), nil
+}
+
+// Read implements io.Reader from the current position.
+func (b *MemBuffer) Read(p []byte) (int, error) {
+	if b.pos >= int64(len(b.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.buf[b.pos:])
+	b.pos += int64(n)
+	return n, nil
+}
+
+// Seek implements io.Seeker.
+func (b *MemBuffer) Seek(offset int64, whence int) (int64, error) {
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = b.pos + offset
+	case io.SeekEnd:
+		abs = int64(len(b.buf)) + offset
+	default:
+		return 0, fmt.Errorf("replay: invalid seek whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("replay: negative seek position %d", abs)
+	}
+	b.pos = abs
+	return abs, nil
+}
+
+// Bytes returns the written trace.
+func (b *MemBuffer) Bytes() []byte { return b.buf }

@@ -150,6 +150,22 @@ func MySQL(load float64, cores int) Spec {
 	}
 }
 
+// Source is anything that can drive a request stream into a sink under
+// the engine's window protocol: Start(until) begins (or restarts)
+// emission up to the given stop time, Stop cancels the pending arrival,
+// Generated counts emissions, and Release hands requests back for reuse
+// so steady-state emission stays allocation-free. Generator is the
+// synthetic implementation; trace replay (internal/workload/replay)
+// provides a recorded one. Restart semantics are part of the contract:
+// a second Start replaces any pending arrival, so exactly one arrival
+// chain is ever live.
+type Source interface {
+	Start(until sim.Time)
+	Stop()
+	Generated() uint64
+	Release(*Request)
+}
+
 // Generator drives a Spec against a sink on the simulation engine.
 type Generator struct {
 	eng  *sim.Engine
