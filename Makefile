@@ -57,7 +57,7 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark suite: benchstat-comparable text in bench.txt plus a
-# machine-readable snapshot (BENCH_pr8.json by default; pass the next
+# machine-readable snapshot (BENCH_pr9.json by default; pass the next
 # PR's name as the second bench.sh argument) recording the perf
 # trajectory.
 bench:
@@ -65,7 +65,7 @@ bench:
 
 # The alloc-regression gate: reruns the suite into bench-gate.json and
 # fails if any benchmark allocates more per op than the committed
-# BENCH_pr8.json baseline (ns/op drift only warns). CI runs this on
+# BENCH_pr9.json baseline (ns/op drift only warns). CI runs this on
 # every push.
 benchgate:
 	scripts/benchgate.sh

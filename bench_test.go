@@ -266,6 +266,56 @@ func BenchmarkFleetRoutingFaults(b *testing.B) {
 	})
 }
 
+// BenchmarkFleetRoutingTiered prices the service-graph layer: the same
+// 8-server power_aware front fleet as BenchmarkFleetRouting, with a
+// 4-server mysql backend behind a lossy fan-out edge. One iteration
+// advances the shared engine by 1 ms — front routing plus the miss
+// decision, TTL fill-table lookup, fan-out emission and join
+// bookkeeping on every front response, plus the backend fleet's own
+// routing. The delta against BenchmarkFleetRouting is the per-request
+// graph tax, and the allocs/op gate pins it at zero.
+func BenchmarkFleetRoutingTiered(b *testing.B) {
+	b.ReportAllocs()
+	tier := func(n int, target sim.Duration, spec workload.Spec) cluster.TierConfig {
+		members := make([]cluster.MemberConfig, n)
+		for i := range members {
+			scfg := server.DefaultConfig()
+			scfg.Seed = 1
+			members[i] = cluster.MemberConfig{SoC: soc.DefaultConfig(soc.CPC1A), Server: scfg}
+		}
+		return cluster.TierConfig{
+			Name: spec.Name,
+			Cluster: cluster.Config{
+				Policy:    cluster.PowerAware,
+				P99Target: target,
+				Topology:  cluster.Flat(n),
+				Members:   members,
+			},
+			Spec: spec,
+		}
+	}
+	g, err := cluster.NewGraph(cluster.GraphConfig{
+		Tiers: []cluster.TierConfig{
+			tier(8, 300*sim.Microsecond, workload.MemcachedBursty(300000, 8)),
+			tier(4, 2*sim.Millisecond, workload.MySQL(0.1, 4)),
+		},
+		Edges: []cluster.EdgeConfig{
+			{From: 0, To: 1, HitRatio: 0.8, TTL: 500 * sim.Microsecond, Fanout: 2},
+		},
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The long prime fills the join pool and the backend's heavy-tailed
+	// latency histograms, same as the tiered allocs gate.
+	g.Run(20 * sim.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Run(sim.Millisecond)
+	}
+	b.ReportMetric(float64(g.TierFleet(0).Generated())/float64(b.N+20), "req/iter")
+}
+
 // BenchmarkFleetRoutingReplay prices the recorded-arrival hot path: the
 // same 8-server power_aware fleet as BenchmarkFleetRouting, driven by a
 // looping in-memory recording of the identical bursty stream instead of

@@ -50,7 +50,11 @@
 //	                      over the packing caps — and fault injection
 //	                      with failure recovery: crashes, brownouts and
 //	                      ToR partitions answered by timeouts, bounded
-//	                      retries, hedged requests and load shedding
+//	                      retries, hedged requests and load shedding,
+//	                      and multi-tier service graphs: fleets wired
+//	                      by lossy cache edges (hit ratio, TTL,
+//	                      fan-out) with misses cascading downstream on
+//	                      the same engine
 //	internal/trace        C-state residency tracing, idle-period stats,
 //	                      VCD dump
 //	internal/stats        histograms, P² quantiles, distributions, RNG

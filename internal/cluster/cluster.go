@@ -327,6 +327,16 @@ type Fleet struct {
 	// and Reset cycles (see MeasureInto).
 	meas measScratch
 
+	// onResolve, when non-nil, observes the final resolution of every
+	// request the balancer accepted: success (the completion callback
+	// fired, or the fault layer recorded an OK) or failure (exhausted
+	// retries, shed). It fires after the fleet's own bookkeeping, with
+	// the request already released, so it receives plain fields. The
+	// service-graph layer (graph.go) hangs the miss/fan-out machinery
+	// off this hook; nil — one predictable branch — everywhere else,
+	// which is what keeps a graphless fleet byte-identical.
+	onResolve func(id uint64, arrival sim.Time, conn int, ok bool)
+
 	// testOnRoute, when non-nil, observes every routing decision before
 	// it takes effect — the seam the drain property tests assert
 	// eligibility invariants through. Always nil outside tests.
@@ -343,6 +353,7 @@ type measScratch struct {
 	res0    []sim.Duration
 	ent0    []uint64
 	served0 []uint64
+	ok0     uint64
 	merged  *stats.Histogram
 	rackH   []*stats.Histogram
 }
@@ -373,11 +384,21 @@ func (s *measScratch) grow(n int) {
 // open-loop: closed-loop clients bind to a single server's Submit and
 // bypass the balancer entirely.
 func New(cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
+	return NewOn(sim.NewEngine(), cfg, spec, seed)
+}
+
+// NewOn assembles a fleet on a caller-supplied engine, so several
+// fleets can share one deterministic event order — the service-graph
+// layer (graph.go) builds each tier this way, and New is exactly
+// NewOn(sim.NewEngine(), ...). The caller owns the engine's clock:
+// fleets built on a shared engine must be run through a shared driver
+// (Graph.Run), never their own Run loops concurrently.
+func NewOn(eng *sim.Engine, cfg Config, spec workload.Spec, seed uint64) (*Fleet, error) {
 	topo, err := validateConfig(cfg, spec)
 	if err != nil {
 		return nil, err
 	}
-	f := &Fleet{eng: sim.NewEngine()}
+	f := &Fleet{eng: eng}
 	f.build(cfg, topo, spec, seed)
 	return f, nil
 }
@@ -525,6 +546,21 @@ func (f *Fleet) Reset(cfg Config, spec workload.Spec, seed uint64) error {
 		return fmt.Errorf("cluster: Reset needs the original topology %v (got %v)", f.topo, topo)
 	}
 	f.eng.Reset()
+	f.build(cfg, topo, spec, seed)
+	return nil
+}
+
+// resetOn is Reset without the engine rewind, for fleets sharing an
+// engine: the graph resets the shared engine exactly once, then rebuilds
+// each tier's fleet in order through this.
+func (f *Fleet) resetOn(cfg Config, spec workload.Spec, seed uint64) error {
+	topo, err := validateConfig(cfg, spec)
+	if err != nil {
+		return err
+	}
+	if topo != f.topo || len(cfg.Members) != len(f.members) {
+		return fmt.Errorf("cluster: Reset needs the original topology %v (got %v)", f.topo, topo)
+	}
 	f.build(cfg, topo, spec, seed)
 	return nil
 }
@@ -681,7 +717,11 @@ func (f *Fleet) newRouted(m *member, req *workload.Request) *routedReq {
 			}
 			r.m, r.req = nil, nil
 			f.freeRouted = append(f.freeRouted, r)
+			id, arr, conn := req.ID, req.Arrival, req.Conn
 			f.gen.Release(req)
+			if f.onResolve != nil {
+				f.onResolve(id, arr, conn, true)
+			}
 		}
 		r.transitFn = func() {
 			r.m.transit--
@@ -1055,7 +1095,19 @@ func (f *Fleet) Measure(warmup, duration sim.Duration) Measurement {
 // first growth.
 func (f *Fleet) MeasureInto(out *Measurement, warmup, duration sim.Duration) {
 	f.Run(warmup)
+	f.measureBegin()
+	t0 := f.eng.Now()
+	f.Run(duration)
+	f.measureCollect(out, f.eng.Now()-t0)
+}
 
+// measureBegin attaches the per-member tracers and records every
+// baseline (power snapshots, served counts, PC1A residency, fault OKs)
+// at the instant the measured window opens. Split from measureCollect
+// so a multi-fleet driver (Graph.Measure) can open every tier's window,
+// run the shared engine once, and collect each tier against the common
+// window.
+func (f *Fleet) measureBegin() {
 	n := len(f.members)
 	s := &f.meas
 	s.grow(n)
@@ -1070,16 +1122,24 @@ func (f *Fleet) MeasureInto(out *Measurement, warmup, duration sim.Duration) {
 			ent0[i] = m.sys.APMU.Entries(pmu.PC1A)
 		}
 	}
-	var ok0 uint64
+	s.ok0 = 0
 	if f.flt != nil {
-		ok0 = f.flt.ok
+		s.ok0 = f.flt.ok
 	}
-	t0 := f.eng.Now()
-	f.Run(duration)
+}
+
+// measureCollect finalizes the tracers measureBegin attached and folds
+// the window's deltas into *out, exactly as the tail of the historical
+// MeasureInto did.
+func (f *Fleet) measureCollect(out *Measurement, window sim.Duration) {
+	n := len(f.members)
+	s := &f.meas
+	tracers, snaps := s.tracers, s.snaps
+	res0, ent0, served0 := s.res0, s.ent0, s.served0
+	ok0 := s.ok0
 	for _, tr := range tracers {
 		tr.Finalize()
 	}
-	window := f.eng.Now() - t0
 
 	*out = Measurement{Servers: out.Servers[:0], Racks: out.Racks[:0]}
 	out.Generated = f.gen.Generated()

@@ -1,0 +1,661 @@
+package cluster
+
+// Service graphs (DESIGN.md §11): N tiers — each a full Fleet with its
+// own servers, racks, policy, faults and overrides — wired by edges
+// carrying a deterministic hit-ratio/TTL miss model and fan-out RPC,
+// all on ONE shared engine. A request arrives at the root tier (tier
+// 0); when a tier resolves it, each outgoing edge performs a cache
+// lookup: a hit needs nothing further, a miss issues Fanout backend
+// requests into the edge's target tier, and the client's response
+// completes only when every request in the resulting tree has resolved
+// (fan-out join). Because every tier's events interleave in the shared
+// engine's (time, sequence) order, a graph run is exactly as
+// deterministic as a single fleet's, and sweeps over graphs stay
+// serial≡parallel bit-identical.
+//
+// The miss model is two-factor and fully seeded:
+//
+//   - TTL (per edge, optional): the edge tracks, per client
+//     connection, when that connection's cache entry was last filled.
+//     A lookup with no entry is a compulsory miss; one whose entry is
+//     older than TTL is a TTL miss. Any miss refills the entry. With
+//     TTL zero the table is bypassed entirely.
+//   - Hit ratio (per edge): lookups that pass the TTL check hit with
+//     probability HitRatio, drawn from the edge's own salted RNG
+//     stream — the same dedicated-stream discipline as fault
+//     injection, so adding an edge never perturbs another stream.
+//
+// Conservation holds across tiers: for every edge,
+// Issued = Fanout · Misses, and a non-root tier's Generated count is
+// exactly the sum of Issued over its incoming edges. At the client,
+// Served + Failed + still-pending joins = root Generated.
+//
+// The defining contract, as with every optional layer before it: a
+// one-tier graph builds its fleet with the caller's seed on a fresh
+// engine and drives it through the exact Run/Measure sequence Fleet
+// uses, and with no edges the onResolve hook stays nil — so a
+// single-tier graph is byte-identical to the plain cluster fleet
+// (TestGraphSingleTierParity).
+
+import (
+	"fmt"
+
+	"agilepkgc/internal/server"
+	"agilepkgc/internal/sim"
+	"agilepkgc/internal/stats"
+	"agilepkgc/internal/workload"
+)
+
+// Seed salts for the graph's dedicated RNG streams, following the
+// fault-layer convention (faults.go): non-root tiers and edges derive
+// their seeds from the caller's, so tier 0 sees exactly the seed a
+// plain fleet would.
+const (
+	graphTierSeedSalt = 0xc4a51dead00d0010 // + tier index, non-root tier fleets
+	graphEdgeSeedSalt = 0xc4a51dead00d0020 // + edge index, per-edge hit/miss RNG
+)
+
+// TierConfig is one tier of a service graph: a complete fleet
+// configuration plus the workload spec describing its request stream.
+// For the root tier the spec drives the synthetic generator (or the
+// custom Cluster.NewSource); for non-root tiers the arrival process is
+// ignored — arrivals are upstream misses — and the spec contributes
+// the service-time distribution, connection count and memory accesses
+// of the tier's requests (and the rate estimate its packing caps are
+// derived from).
+type TierConfig struct {
+	// Name labels the tier in measurements and reports.
+	Name string
+	// Cluster is the tier's fleet configuration. Only the root tier may
+	// set NewSource; non-root tiers are driven by the graph.
+	Cluster Config
+	// Spec is the tier's workload description (see type comment).
+	Spec workload.Spec
+}
+
+// EdgeConfig is one edge of the service graph: requests resolving in
+// tier From look up a cache entry and, on a miss, issue Fanout
+// requests into tier To.
+type EdgeConfig struct {
+	From, To int
+	// HitRatio is the probability a lookup that passes the TTL check
+	// hits; in [0, 1].
+	HitRatio float64
+	// TTL is the cache-entry lifetime of the per-connection fill table;
+	// zero disables the table (pure Bernoulli misses).
+	TTL sim.Duration
+	// Fanout is how many backend requests one miss issues; 0 is
+	// normalized to 1.
+	Fanout int
+}
+
+// GraphConfig declares a service graph: tiers plus edges. Tier 0 is
+// the root (client-facing) tier; edges must form a DAG rooted there.
+type GraphConfig struct {
+	Tiers []TierConfig
+	Edges []EdgeConfig
+}
+
+// validate rejects incoherent graphs: per-tier fleet validation, edge
+// indices in range, probabilities in [0,1], fan-out on an edge that
+// can never miss (silently inert configuration, same philosophy as the
+// scenario layer), cycles, and tiers no miss stream can ever reach.
+func (cfg GraphConfig) validate() error {
+	if len(cfg.Tiers) == 0 {
+		return fmt.Errorf("cluster: graph needs at least one tier")
+	}
+	for i, tc := range cfg.Tiers {
+		if i > 0 && tc.Cluster.NewSource != nil {
+			return fmt.Errorf("cluster: tier %d (%s): only the root tier may set NewSource (non-root tiers are driven by upstream misses)", i, tc.Name)
+		}
+		if _, err := validateConfig(tc.Cluster, tc.Spec); err != nil {
+			return fmt.Errorf("tier %d (%s): %w", i, tc.Name, err)
+		}
+	}
+	adj := make([][]int, len(cfg.Tiers))
+	for i, ec := range cfg.Edges {
+		if ec.From < 0 || ec.From >= len(cfg.Tiers) {
+			return fmt.Errorf("cluster: edge %d: from-tier %d out of range", i, ec.From)
+		}
+		if ec.To < 0 || ec.To >= len(cfg.Tiers) {
+			return fmt.Errorf("cluster: edge %d: to-tier %d out of range", i, ec.To)
+		}
+		if ec.From == ec.To {
+			return fmt.Errorf("cluster: edge %d: tier %d feeds itself", i, ec.From)
+		}
+		if ec.To == 0 {
+			return fmt.Errorf("cluster: edge %d: tier 0 is the client-facing tier and cannot be an edge target", i)
+		}
+		if ec.HitRatio < 0 || ec.HitRatio > 1 {
+			return fmt.Errorf("cluster: edge %d: hit ratio %g outside [0, 1]", i, ec.HitRatio)
+		}
+		if ec.TTL < 0 {
+			return fmt.Errorf("cluster: edge %d: negative TTL", i)
+		}
+		if ec.Fanout < 0 {
+			return fmt.Errorf("cluster: edge %d: negative fan-out", i)
+		}
+		if ec.Fanout > 1 && ec.HitRatio >= 1 && ec.TTL == 0 {
+			return fmt.Errorf("cluster: edge %d: fan-out %d on an edge that never misses (hit ratio 1, no TTL)", i, ec.Fanout)
+		}
+		adj[ec.From] = append(adj[ec.From], ec.To)
+	}
+	// Cycle check: a cycle would let one arrival generate unbounded
+	// downstream work. DFS coloring over every tier (cycles among
+	// non-root tiers are unreachable from 0 but just as fatal).
+	color := make([]int, len(cfg.Tiers)) // 0 white, 1 gray, 2 black
+	var dfs func(int) bool
+	dfs = func(u int) bool {
+		color[u] = 1
+		for _, v := range adj[u] {
+			if color[v] == 1 || (color[v] == 0 && dfs(v)) {
+				return true
+			}
+		}
+		color[u] = 2
+		return false
+	}
+	for u := range cfg.Tiers {
+		if color[u] == 0 && dfs(u) {
+			return fmt.Errorf("cluster: graph has a cycle through tier %d", u)
+		}
+	}
+	// Reachability: a non-root tier no edge path reaches from the root
+	// would sit idle forever — a silently inert tier.
+	reached := make([]bool, len(cfg.Tiers))
+	reached[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !reached[v] {
+				reached[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	for i := range cfg.Tiers {
+		if !reached[i] {
+			return fmt.Errorf("cluster: tier %d (%s) is unreachable from tier 0 (no edge path delivers misses to it)", i, cfg.Tiers[i].Name)
+		}
+	}
+	return nil
+}
+
+// joinReq tracks one request's position in the fan-out tree: how many
+// of its downstream children are still outstanding, whether any part
+// of the subtree failed, and — at the root — the client arrival the
+// end-to-end latency is measured from. Records are pooled
+// (Graph.freeJoin) so steady-state joining allocates nothing.
+type joinReq struct {
+	parent  *joinReq
+	arrival sim.Time
+	pending int
+	failed  bool
+}
+
+// gtier is one tier at runtime: its fleet, the push source feeding it
+// (nil at the root), its outgoing edges and the join records of its
+// in-flight requests, keyed by request ID. The map's deleted cells are
+// reused by later inserts, so the pending set is allocation-free at
+// steady state.
+type gtier struct {
+	name    string
+	fl      *Fleet
+	push    *workload.PushSource
+	out     []*gedge
+	pending map[uint64]*joinReq
+}
+
+// gedge is one edge at runtime: its target tier, its dedicated RNG
+// stream, the per-connection TTL fill table, and the conservation
+// counters.
+type gedge struct {
+	cfg    EdgeConfig
+	fanout int
+	to     *gtier
+	rng    *stats.RNG
+	fill   map[int]sim.Time
+
+	lookups   uint64
+	misses    uint64
+	ttlMisses uint64
+	issued    uint64
+}
+
+// Graph is a service graph of fleets on one shared engine.
+type Graph struct {
+	eng   *sim.Engine
+	cfg   GraphConfig
+	tiers []*gtier
+	edges []*gedge
+
+	clientServed uint64
+	clientFailed uint64
+	clientLat    *stats.Histogram
+
+	freeJoin []*joinReq
+}
+
+// NewGraph assembles a service graph on a fresh engine: each tier's
+// fleet is built in tier order (tier 0 with the caller's seed — the
+// single-tier parity anchor — and every later tier with a salted
+// derivative), then the edges are wired in config order.
+func NewGraph(cfg GraphConfig, seed uint64) (*Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{eng: sim.NewEngine()}
+	if err := g.build(cfg, seed); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// build assembles (or, on Reset, reassembles) the graph in a fixed
+// order — tiers first, in index order, then edges — so a rebuilt graph
+// schedules the identical initial event sequence a fresh one would.
+func (g *Graph) build(cfg GraphConfig, seed uint64) error {
+	g.cfg = cfg
+	fresh := g.tiers == nil
+	if fresh {
+		g.tiers = make([]*gtier, len(cfg.Tiers))
+		for i := range g.tiers {
+			g.tiers[i] = &gtier{}
+		}
+		g.edges = make([]*gedge, len(cfg.Edges))
+		for i := range g.edges {
+			g.edges[i] = &gedge{}
+		}
+	}
+	wired := len(cfg.Edges) > 0
+	g.clientServed, g.clientFailed = 0, 0
+	if wired {
+		if g.clientLat == nil {
+			g.clientLat = stats.NewLatencyHistogram()
+		} else {
+			g.clientLat.Reset()
+		}
+	}
+	for i, tc := range cfg.Tiers {
+		t := g.tiers[i]
+		t.name = tc.Name
+		t.out = t.out[:0]
+		tseed := seed
+		fcfg := tc.Cluster
+		if i > 0 {
+			tseed = seed ^ (graphTierSeedSalt + uint64(i))
+			// Non-root tiers are fed by upstream misses: install the push
+			// source, reusing its request pool across resets.
+			fcfg.NewSource = func(eng *sim.Engine, spec workload.Spec, s uint64, sink func(*workload.Request)) workload.Source {
+				if t.push == nil {
+					t.push = workload.NewPushSource(eng, spec, s, sink)
+				} else {
+					t.push.Reset(spec, s)
+				}
+				return t.push
+			}
+		}
+		if t.fl == nil {
+			fl, err := NewOn(g.eng, fcfg, tc.Spec, tseed)
+			if err != nil {
+				return err
+			}
+			t.fl = fl
+		} else if err := t.fl.resetOn(fcfg, tc.Spec, tseed); err != nil {
+			return err
+		}
+		if wired {
+			// The hook is what turns completions into lookups; without
+			// edges it stays nil and the tier is a plain fleet, byte for
+			// byte.
+			tier := t
+			t.fl.onResolve = func(id uint64, arrival sim.Time, conn int, ok bool) {
+				g.resolve(tier, id, arrival, conn, ok)
+			}
+			if t.pending == nil {
+				t.pending = make(map[uint64]*joinReq)
+			} else {
+				for k := range t.pending {
+					delete(t.pending, k)
+				}
+			}
+		}
+	}
+	for i, ec := range cfg.Edges {
+		e := g.edges[i]
+		fanout := ec.Fanout
+		if fanout < 1 {
+			fanout = 1
+		}
+		e.cfg, e.fanout = ec, fanout
+		e.to = g.tiers[ec.To]
+		e.rng = stats.NewRNG(seed ^ (graphEdgeSeedSalt + uint64(i)))
+		if e.cfg.TTL > 0 {
+			if e.fill == nil {
+				e.fill = make(map[int]sim.Time)
+			} else {
+				for k := range e.fill {
+					delete(e.fill, k)
+				}
+			}
+		}
+		e.lookups, e.misses, e.ttlMisses, e.issued = 0, 0, 0, 0
+		g.tiers[ec.From].out = append(g.tiers[ec.From].out, e)
+	}
+	return nil
+}
+
+// Reset rewinds the graph to the state NewGraph(cfg, seed) would have
+// produced, reusing the engine arena, every tier's fleet (under
+// Fleet.Reset's shape rules), the push sources' request pools, the
+// join pool and the pending maps. Mirrors Fleet.Reset: a reset graph
+// is byte-identical to a fresh one.
+func (g *Graph) Reset(cfg GraphConfig, seed uint64) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if len(cfg.Tiers) != len(g.tiers) || len(cfg.Edges) != len(g.edges) {
+		return fmt.Errorf("cluster: graph Reset needs the original shape (%d tiers, %d edges; got %d, %d)",
+			len(g.tiers), len(g.edges), len(cfg.Tiers), len(cfg.Edges))
+	}
+	// Pre-check every tier's topology shape so a mismatch is reported
+	// before any state is torn down.
+	for i, tc := range cfg.Tiers {
+		topo := tc.Cluster.Topology
+		if topo == (Topology{}) {
+			topo = Flat(len(tc.Cluster.Members))
+		}
+		fl := g.tiers[i].fl
+		if topo != fl.topo || len(tc.Cluster.Members) != len(fl.members) {
+			return fmt.Errorf("cluster: graph Reset: tier %d needs the original topology %v (got %v)", i, fl.topo, topo)
+		}
+	}
+	g.eng.Reset()
+	return g.build(cfg, seed)
+}
+
+// GraphReuse caches one graph across the points of a sweep, exactly as
+// Reuse does for fleets: reset in place when the shape matches, rebuilt
+// when it cannot be. The zero value is ready.
+type GraphReuse struct {
+	g *Graph
+}
+
+// Graph returns a graph for (cfg, seed): the cached one reset in place
+// when possible, a newly built one otherwise.
+func (r *GraphReuse) Graph(cfg GraphConfig, seed uint64) (*Graph, error) {
+	if r.g != nil && r.g.Reset(cfg, seed) == nil {
+		return r.g, nil
+	}
+	g, err := NewGraph(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	r.g = g
+	return g, nil
+}
+
+// Engine returns the shared engine (for tests).
+func (g *Graph) Engine() *sim.Engine { return g.eng }
+
+// Tiers returns the tier count.
+func (g *Graph) Tiers() int { return len(g.tiers) }
+
+// TierFleet returns tier i's fleet (for tests and benchmarks; the
+// fleet must keep being driven through the graph's Run).
+func (g *Graph) TierFleet(i int) *Fleet { return g.tiers[i].fl }
+
+// newJoin takes a join record off the pool or allocates one.
+func (g *Graph) newJoin() *joinReq {
+	if n := len(g.freeJoin); n > 0 {
+		jr := g.freeJoin[n-1]
+		g.freeJoin = g.freeJoin[:n-1]
+		*jr = joinReq{}
+		return jr
+	}
+	return new(joinReq)
+}
+
+// resolve is the onResolve hook of every tier: one request of tier t
+// reached its final state. It closes the request's join record,
+// performs the outgoing lookups and, on misses, issues the fan-out
+// children — synchronously, at this engine instant, so downstream
+// arrivals carry zero artificial delay beyond what the target tier's
+// own delivery path (ToR hops, queues) imposes.
+func (g *Graph) resolve(t *gtier, id uint64, arrival sim.Time, conn int, ok bool) {
+	jr := t.pending[id]
+	if jr != nil {
+		delete(t.pending, id)
+	} else {
+		// Root-tier requests enter the graph here, at their own
+		// resolution: nothing upstream registered them.
+		jr = g.newJoin()
+		jr.arrival = arrival
+	}
+	// Guard reference: hold the join open until every child is issued,
+	// so a child resolving synchronously (a shed, for instance) cannot
+	// complete the join mid-loop.
+	jr.pending++
+	if !ok {
+		// A failed request produced no response, so no lookups happen
+		// downstream of it; the failure propagates up the join tree.
+		jr.failed = true
+	} else {
+		now := g.eng.Now()
+		for _, e := range t.out {
+			e.lookups++
+			miss, ttlMiss := false, false
+			if e.cfg.TTL > 0 {
+				ft, present := e.fill[conn]
+				if !present {
+					miss = true // compulsory: first lookup on this connection
+				} else if now-ft >= e.cfg.TTL {
+					miss, ttlMiss = true, true
+				}
+			}
+			if !miss && e.rng.Float64() >= e.cfg.HitRatio {
+				miss = true
+			}
+			if !miss {
+				continue
+			}
+			e.misses++
+			if ttlMiss {
+				e.ttlMisses++
+			}
+			if e.cfg.TTL > 0 {
+				e.fill[conn] = now
+			}
+			for k := 0; k < e.fanout; k++ {
+				e.issued++
+				jr.pending++
+				child := g.newJoin()
+				child.parent = jr
+				child.arrival = now
+				// Emit's ID is the source's Generated() count; register the
+				// child BEFORE emitting, because the target tier can resolve
+				// the request synchronously (shedding under overload).
+				childID := e.to.push.Generated()
+				e.to.pending[childID] = child
+				e.to.push.Emit(conn)
+			}
+		}
+	}
+	jr.pending--
+	if jr.pending == 0 {
+		g.finish(jr)
+	}
+}
+
+// finish completes a join whose subtree has fully resolved, bubbling
+// the completion up the parent chain; at the root it records the
+// client-observed outcome (success only when every request in the tree
+// succeeded, latency from root arrival to last resolution).
+func (g *Graph) finish(jr *joinReq) {
+	for {
+		parent, failed := jr.parent, jr.failed
+		if parent == nil {
+			if failed {
+				g.clientFailed++
+			} else {
+				g.clientServed++
+				g.clientLat.Add((g.eng.Now() - jr.arrival).Seconds())
+			}
+			g.freeJoin = append(g.freeJoin, jr)
+			return
+		}
+		g.freeJoin = append(g.freeJoin, jr)
+		parent.pending--
+		if failed {
+			parent.failed = true
+		}
+		if parent.pending > 0 {
+			return
+		}
+		jr = parent
+	}
+}
+
+// inFlight sums every tier's in-flight count, so the drain loop cannot
+// declare the graph empty while any tier still holds work.
+func (g *Graph) inFlight() int {
+	n := 0
+	for _, t := range g.tiers {
+		n += t.fl.inFlightTotal()
+	}
+	return n
+}
+
+// Run generates root-tier load for d of virtual time, then drains every
+// tier, mirroring Fleet.Run event for event — the sequence the
+// single-tier parity contract depends on. Non-root sources have no
+// arrival chain to start, so the Start loop degenerates to the fleet's
+// single Start on one-tier graphs. Misses discovered during the drain
+// still issue their backend requests: the drain loop keeps going until
+// every tier is empty or the cap trips.
+func (g *Graph) Run(d sim.Duration) {
+	stop := g.eng.Now() + d
+	for _, t := range g.tiers {
+		t.fl.gen.Start(stop)
+	}
+	g.eng.Run(stop)
+	deadline := g.eng.Now() + server.DrainCap
+	for g.inFlight() > 0 && g.eng.Now() < deadline {
+		g.eng.Run(g.eng.Now() + sim.Millisecond)
+	}
+	trunc := g.inFlight() > 0 && g.eng.Pending() > 0
+	for _, t := range g.tiers {
+		for _, m := range t.fl.members {
+			m.dropped = uint64(t.fl.load(m))
+			if trunc {
+				m.truncated = m.dropped
+			} else {
+				m.truncated = 0
+			}
+		}
+	}
+}
+
+// TierMeasurement is one tier's outcome: its name plus the full fleet
+// measurement, per-server and per-rack detail included.
+type TierMeasurement struct {
+	Name  string      `json:"name"`
+	Fleet Measurement `json:"fleet"`
+}
+
+// EdgeStats is one edge's measured outcome with its configuration,
+// satisfying the conservation identity Issued = Fanout · Misses and
+// Hits = Lookups − Misses.
+type EdgeStats struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+
+	HitRatio float64      `json:"hit_ratio"`
+	TTL      sim.Duration `json:"ttl_ns,omitempty"`
+	Fanout   int          `json:"fanout"`
+
+	Lookups   uint64 `json:"lookups"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	TTLMisses uint64 `json:"ttl_misses,omitempty"`
+	Issued    uint64 `json:"issued"`
+
+	// MeasuredHitRate is Hits/Lookups — below the configured HitRatio
+	// when TTL expiry and compulsory misses bite.
+	MeasuredHitRate float64 `json:"measured_hit_rate"`
+}
+
+// ClientStats is the end-to-end view at the graph's client: a request
+// is served only when its whole fan-out tree succeeded, and its
+// latency runs from root arrival to the last resolution in the tree.
+type ClientStats struct {
+	Served uint64 `json:"served"`
+	Failed uint64 `json:"failed"`
+
+	MeanLatency float64 `json:"mean_latency_s"`
+	P50Latency  float64 `json:"p50_latency_s"`
+	P99Latency  float64 `json:"p99_latency_s"`
+	P999Latency float64 `json:"p999_latency_s"`
+}
+
+// GraphMeasurement is the graph-wide outcome of one measured window.
+// Edges and Client are nil on edgeless (single-tier) graphs,
+// preserving the parity contract in the marshalled form too.
+type GraphMeasurement struct {
+	Tiers  []TierMeasurement `json:"tiers"`
+	Edges  []EdgeStats       `json:"edges,omitempty"`
+	Client *ClientStats      `json:"client,omitempty"`
+}
+
+// Measure runs the graph through the standard warmup → instrument →
+// measure sequence: warmup once, every tier's instrumentation attached
+// at the same instant, one shared measured window, every tier
+// collected against it. On a one-tier graph this is exactly
+// Fleet.Measure. Call at most once per build or Reset.
+func (g *Graph) Measure(warmup, duration sim.Duration) GraphMeasurement {
+	g.Run(warmup)
+	for _, t := range g.tiers {
+		t.fl.measureBegin()
+	}
+	t0 := g.eng.Now()
+	g.Run(duration)
+	window := g.eng.Now() - t0
+
+	out := GraphMeasurement{Tiers: make([]TierMeasurement, len(g.tiers))}
+	for i, t := range g.tiers {
+		out.Tiers[i].Name = t.name
+		t.fl.measureCollect(&out.Tiers[i].Fleet, window)
+	}
+	if len(g.edges) > 0 {
+		out.Edges = make([]EdgeStats, len(g.edges))
+		for i, e := range g.edges {
+			out.Edges[i] = EdgeStats{
+				From:      g.tiers[e.cfg.From].name,
+				To:        e.to.name,
+				HitRatio:  e.cfg.HitRatio,
+				TTL:       e.cfg.TTL,
+				Fanout:    e.fanout,
+				Lookups:   e.lookups,
+				Hits:      e.lookups - e.misses,
+				Misses:    e.misses,
+				TTLMisses: e.ttlMisses,
+				Issued:    e.issued,
+			}
+			if e.lookups > 0 {
+				out.Edges[i].MeasuredHitRate = float64(e.lookups-e.misses) / float64(e.lookups)
+			}
+		}
+		cs := &ClientStats{
+			Served:      g.clientServed,
+			Failed:      g.clientFailed,
+			MeanLatency: g.clientLat.Mean(),
+			P50Latency:  g.clientLat.Quantile(0.50),
+			P99Latency:  g.clientLat.Quantile(0.99),
+			P999Latency: g.clientLat.Quantile(0.999),
+		}
+		out.Client = cs
+	}
+	return out
+}

@@ -152,7 +152,13 @@ func (fs *faultState) freeAttempt(at *attempt) {
 func (fs *faultState) route(req *workload.Request) {
 	if fs.shouldShed() {
 		fs.shed++
+		id, arr, conn := req.ID, req.Arrival, req.Conn
 		fs.f.gen.Release(req)
+		if fs.f.onResolve != nil {
+			// A shed is a resolution too: without this a service graph
+			// waiting on the request would wait forever.
+			fs.f.onResolve(id, arr, conn, false)
+		}
 		return
 	}
 	lr := fs.newLogical()
@@ -362,8 +368,12 @@ func (fs *faultState) complete(at *attempt) {
 	}
 	m.ok++
 	fs.ok++
+	id, arr, conn := lr.id, lr.arrival, lr.conn
 	fs.freeAttempt(at)
 	fs.freeLogical(lr)
+	if f.onResolve != nil {
+		f.onResolve(id, arr, conn, true)
+	}
 }
 
 // timeoutFire abandons every outstanding copy of lr — their eventual
@@ -431,7 +441,11 @@ func (fs *faultState) fail(lr *logicalReq, m *member) {
 	if m != nil {
 		m.failed++
 	}
+	id, arr, conn := lr.id, lr.arrival, lr.conn
 	fs.freeLogical(lr)
+	if fs.f.onResolve != nil {
+		fs.f.onResolve(id, arr, conn, false)
+	}
 }
 
 // hedgeFire submits the hedged copy: a second attempt to a different

@@ -215,3 +215,25 @@ func TestRouteSteadyStateAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestRouteSteadyStateAllocsTiered extends the zero-alloc contract to
+// the service-graph layer: a two-tier graph — miss decisions, the TTL
+// fill table, fan-out emission through the push source, join records
+// and pending-map churn on top of both tiers' full routing paths —
+// still allocates nothing at steady state.
+func TestRouteSteadyStateAllocsTiered(t *testing.T) {
+	g, err := NewGraph(twoTierConfig(0.8, 500*sim.Microsecond, 2), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prime is longer than the single-fleet test's: the backend
+	// tier's heavy-tailed MySQL service times keep deepening the join
+	// pool and latency histograms for a few more milliseconds.
+	g.Run(20 * sim.Millisecond) // prime pools, maps, arena, histograms
+	allocs := testing.AllocsPerRun(3, func() {
+		g.Run(sim.Millisecond)
+	})
+	if allocs > 0 {
+		t.Errorf("two-tier graph: steady-state Run allocates %.1f times per ms window, want 0", allocs)
+	}
+}

@@ -14,6 +14,7 @@ func TestRegistryCanonicalOrder(t *testing.T) {
 		"area", "sensitivity", "batching", "remote",
 		"cluster-scaling", "cluster-policy", "rack-packing",
 		"drain-hysteresis", "fault-resilience", "trace-replay",
+		"tiered-cache",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry order = %v, want %v", got, want)

@@ -37,6 +37,14 @@ func FuzzLoadScenario(f *testing.F) {
 	f.Add([]byte(`{"name":"x","config":"CPC1A","workload":{"service":"memcached","qps":"oops"}}`))
 	f.Add([]byte(`{"name":"x","cluster":{"servers":2,"policy":"round_robin","faults":{"mtbf_us":-1}}}`))
 	f.Add([]byte("{\"name\":\n\"unterminated"))
+	// Tiered shapes: a valid two-tier graph, an edge into an unknown
+	// tier, a hit ratio outside [0,1], fan-out on a never-miss edge,
+	// and a two-edge cycle.
+	f.Add([]byte(`{"name":"t","config":"CPC1A","workload":{"service":"memcached","qps":1},"tiers":[{"name":"a","servers":1,"policy":"round_robin"},{"name":"b","service":"mysql","servers":1,"policy":"round_robin"}],"edges":[{"from":"a","to":"b","hit_ratio":0.9,"ttl_us":500,"fanout":2}]}`))
+	f.Add([]byte(`{"name":"t","tiers":[{"name":"a","servers":1,"policy":"round_robin"}],"edges":[{"from":"a","to":"nope","hit_ratio":0.5}]}`))
+	f.Add([]byte(`{"name":"t","tiers":[{"name":"a","servers":1,"policy":"round_robin"},{"name":"b","service":"kafka","servers":1,"policy":"round_robin"}],"edges":[{"from":"a","to":"b","hit_ratio":2}]}`))
+	f.Add([]byte(`{"name":"t","tiers":[{"name":"a","servers":1,"policy":"round_robin"},{"name":"b","service":"mysql","servers":1,"policy":"round_robin"}],"edges":[{"from":"a","to":"b","hit_ratio":1,"fanout":3}]}`))
+	f.Add([]byte(`{"name":"t","tiers":[{"name":"a","servers":1,"policy":"round_robin"},{"name":"b","service":"mysql","servers":1,"policy":"round_robin"},{"name":"c","service":"mysql","servers":1,"policy":"round_robin"}],"edges":[{"from":"a","to":"b","hit_ratio":0.5},{"from":"b","to":"c","hit_ratio":0.5},{"from":"c","to":"b","hit_ratio":0.5}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		scs, err := Load(bytes.NewReader(data))

@@ -73,6 +73,22 @@ type Point struct {
 	// to the pre-topology fleet (TestRackFlatParity).
 	Racks []cluster.RackStats `json:"racks,omitempty"`
 
+	// Tiers is the per-tier breakdown for multi-tier service graphs, in
+	// tier order. It stays empty for cluster and single-machine
+	// scenarios AND for one-tier graphs — a one-tier graph is
+	// byte-for-byte the cluster block (TestTiersSingleTierParity), so
+	// its aggregate row already is the tier.
+	Tiers []cluster.TierMeasurement `json:"tiers,omitempty"`
+	// Edges is the per-edge cache and fan-out accounting; empty without
+	// edges. TierEdges would be a misnomer: an edge belongs to the
+	// graph, not a tier.
+	Edges []cluster.EdgeStats `json:"edges,omitempty"`
+	// Client is the end-to-end client view of a multi-tier graph: a
+	// root arrival counts served only when its whole miss tree
+	// resolves, and its latency spans that tree. Nil without edges —
+	// the fleet's own latencies already are the client view.
+	Client *cluster.ClientStats `json:"client,omitempty"`
+
 	// Fault-layer outcomes (cluster.faults block; see
 	// cluster.Measurement for the semantics — OK + Failed + Shed =
 	// Generated once the fleet drains). All zero, and therefore absent
@@ -164,6 +180,8 @@ func (s Scenario) Run(opt experiments.Options) (*Result, error) {
 		cores := soc.DefaultConfig(kind).CoreCount
 		if pt.Cluster != nil {
 			cores *= pt.Cluster.Servers
+		} else if len(pt.Tiers) > 0 {
+			cores *= pt.Tiers[0].Servers
 		}
 		if pt.Workload.Service == "trace" {
 			if err := pt.Workload.Trace.preflight(); err != nil {
@@ -172,32 +190,50 @@ func (s Scenario) Run(opt experiments.Options) (*Result, error) {
 		} else if _, _, err := pt.Workload.spec(cores); err != nil {
 			return nil, pointErr(err)
 		}
-		if pt.Cluster != nil {
+		switch {
+		case pt.Cluster != nil:
 			if err := pt.validateClusterPoint(kind); err != nil {
 				return nil, pointErr(err)
 			}
-		} else if pt.Server.TimerTickHz != nil && *pt.Server.TimerTickHz > 0 &&
-			(pt.Server.TickKernelUS == nil || *pt.Server.TickKernelUS <= 0) {
-			return nil, pointErr(fmt.Errorf("timer_tick_hz needs tick_kernel_us > 0"))
+		case len(pt.Tiers) > 0:
+			if err := pt.validateTieredPoint(kind); err != nil {
+				return nil, pointErr(err)
+			}
+		default:
+			if pt.Server.TimerTickHz != nil && *pt.Server.TimerTickHz > 0 &&
+				(pt.Server.TickKernelUS == nil || *pt.Server.TickKernelUS <= 0) {
+				return nil, pointErr(fmt.Errorf("timer_tick_hz needs tick_kernel_us > 0"))
+			}
 		}
 		jobs[i] = job{axis: v, label: label, sc: pt}
 	}
 
 	res := &Result{Scenario: s, Axis: axis}
-	// Each sweep worker carries one fleet cache: consecutive cluster
-	// points that keep the fleet shape (the common case — the axis sweeps
-	// QPS or a policy knob) reset one fleet instead of rebuilding N
-	// machines per point. Reset is byte-identical to a fresh build, so
-	// results stay bit-identical at any parallelism.
+	// Each sweep worker carries one fleet cache and one graph cache:
+	// consecutive points that keep the shape (the common case — the axis
+	// sweeps QPS or a policy knob, or an edge's hit ratio) reset one
+	// fleet/graph instead of rebuilding N machines per point. Reset is
+	// byte-identical to a fresh build, so results stay bit-identical at
+	// any parallelism.
 	res.Points = experiments.SweepWith(opt, jobs,
-		func() *cluster.Reuse { return new(cluster.Reuse) },
-		func(reuse *cluster.Reuse, j job) Point {
-			if j.sc.Cluster != nil {
-				return runClusterOne(j.sc, j.axis, j.label, opt, reuse)
+		func() *runScratch { return new(runScratch) },
+		func(scratch *runScratch, j job) Point {
+			switch {
+			case j.sc.Cluster != nil:
+				return runClusterOne(j.sc, j.axis, j.label, opt, &scratch.fleet)
+			case len(j.sc.Tiers) > 0:
+				return runTieredOne(j.sc, j.axis, j.label, opt, &scratch.graph)
+			default:
+				return runOne(j.sc, j.axis, opt)
 			}
-			return runOne(j.sc, j.axis, opt)
 		})
 	return res, nil
+}
+
+// runScratch is one sweep worker's reusable simulation state.
+type runScratch struct {
+	fleet cluster.Reuse
+	graph cluster.GraphReuse
 }
 
 // validateClusterPoint checks the parts of a cluster scenario that only
@@ -225,17 +261,51 @@ func (s *Scenario) validateClusterPoint(kind soc.ConfigKind) error {
 	return nil
 }
 
+// validateTieredPoint runs the applied-point checks of
+// validateClusterPoint on every tier of a service graph.
+func (s *Scenario) validateTieredPoint(kind soc.ConfigKind) error {
+	for ti := range s.Tiers {
+		t := &s.Tiers[ti]
+		n := t.Servers
+		if n < 1 {
+			return fmt.Errorf("tiers[%d].servers must be at least 1", ti)
+		}
+		if r := t.Racks; r > 1 && n%r != 0 {
+			return fmt.Errorf("tiers[%d].racks %d does not divide %d servers into equal racks", ti, r, n)
+		}
+		for key := range t.ServerOverrides {
+			if idx, _ := strconv.Atoi(key); idx >= n {
+				return fmt.Errorf("tiers[%d].server_overrides[%s]: tier has only %d servers", ti, key, n)
+			}
+		}
+		for i, mc := range s.memberConfigs(&t.Cluster, kind, 0) {
+			if mc.Server.TimerTickHz > 0 && mc.Server.TickKernelTime <= 0 {
+				return fmt.Errorf("tiers[%d] server %d: timer_tick_hz needs tick_kernel_us > 0", ti, i)
+			}
+		}
+	}
+	return nil
+}
+
 // clusterMembers builds the per-server configurations of an applied
 // cluster point: evaluation defaults, then the scenario-level Server
 // overrides, then that server's entry in cluster.server_overrides.
 func (s *Scenario) clusterMembers(kind soc.ConfigKind, seed uint64) []cluster.MemberConfig {
+	return s.memberConfigs(s.Cluster, kind, seed)
+}
+
+// memberConfigs builds one fleet-shape block's per-server
+// configurations — the cluster block's or one tier's. The scenario-level
+// Server overrides are the base of every block's servers; the block's
+// own ServerOverrides refine them per server.
+func (s *Scenario) memberConfigs(c *Cluster, kind soc.ConfigKind, seed uint64) []cluster.MemberConfig {
 	base := server.DefaultConfig()
 	base.Seed = seed
 	s.Server.apply(&base)
-	members := make([]cluster.MemberConfig, s.Cluster.Servers)
+	members := make([]cluster.MemberConfig, c.Servers)
 	for i := range members {
 		scfg := base
-		if ov, ok := s.Cluster.ServerOverrides[strconv.Itoa(i)]; ok {
+		if ov, ok := c.ServerOverrides[strconv.Itoa(i)]; ok {
 			ov.apply(&scfg)
 		}
 		members[i] = cluster.MemberConfig{SoC: soc.DefaultConfig(kind), Server: scfg}
@@ -355,6 +425,221 @@ func runClusterOne(sc Scenario, axisValue float64, axisLabel string, opt experim
 	return p
 }
 
+// tierSpec synthesizes the workload spec of a backend tier at the
+// expected miss rate flowing into it. The graph's push sources never
+// sample the arrival process — upstream misses drive emission — but
+// the spec still names the tier's stream, sizes its connections and
+// supplies the service-time distribution the balancer derives packing
+// caps from.
+func tierSpec(service string, rate float64, cores int) workload.Spec {
+	if rate <= 0 {
+		// A hit-ratio-1 point never misses; the rate only names the spec.
+		rate = 1
+	}
+	switch service {
+	case "memcached":
+		return workload.Memcached(rate)
+	case "mysql":
+		probe := workload.MySQL(1, cores)
+		return workload.MySQL(rate*probe.Service.Mean()/float64(cores), cores)
+	case "kafka":
+		probe := workload.Kafka(1, cores)
+		return workload.Kafka(rate*probe.Service.Mean()/float64(cores), cores)
+	}
+	// Unreachable after Validate; a panic here is a missing rule.
+	panic(fmt.Sprintf("tierSpec: unknown service %q", service))
+}
+
+// runTieredOne wires one fully-applied service-graph point: every tier
+// a full fleet on one shared engine, edges carrying misses downstream
+// (see cluster.Graph), measured through the same warmup/window sequence
+// as runClusterOne. A one-tier graph assembles event-for-event the
+// cluster-block wiring, so its Point is bit-identical
+// (TestTiersSingleTierParity locks this).
+func runTieredOne(sc Scenario, axisValue float64, axisLabel string, opt experiments.Options, reuse *cluster.GraphReuse) Point {
+	kind, _ := soc.ParseConfigKind(sc.Config)
+	cores := soc.DefaultConfig(kind).CoreCount
+	rootSpec, _, _ := sc.Workload.spec(sc.Tiers[0].Servers * cores)
+	us := func(v float64) sim.Duration { return sim.Duration(v * float64(sim.Microsecond)) }
+
+	names := make(map[string]int, len(sc.Tiers))
+	for i := range sc.Tiers {
+		names[sc.Tiers[i].Name] = i
+	}
+	// Expected per-tier arrival rates — the root rate scaled by each
+	// edge's miss probability and fan-out — size the backend specs. The
+	// graph is a DAG, so |tiers| relaxation rounds reach the fixpoint.
+	rates := make([]float64, len(sc.Tiers))
+	rates[0] = rootSpec.MeanQPS()
+	for range sc.Tiers {
+		next := make([]float64, len(rates))
+		next[0] = rates[0]
+		for _, e := range sc.Edges {
+			fanout := e.Fanout
+			if fanout < 1 {
+				fanout = 1
+			}
+			next[names[e.To]] += rates[names[e.From]] * (1 - e.HitRatio) * float64(fanout)
+		}
+		rates = next
+	}
+
+	gcfg := cluster.GraphConfig{
+		Tiers: make([]cluster.TierConfig, len(sc.Tiers)),
+		Edges: make([]cluster.EdgeConfig, len(sc.Edges)),
+	}
+	for i := range sc.Tiers {
+		t := &sc.Tiers[i]
+		pol, _ := cluster.ParsePolicy(t.Policy)
+		var topo cluster.Topology
+		if r := t.Racks; r >= 1 {
+			topo = cluster.Topology{Racks: r, ServersPerRack: t.Servers / r}
+		}
+		spec := rootSpec
+		if i > 0 {
+			spec = tierSpec(t.Service, rates[i], cores)
+		}
+		gcfg.Tiers[i] = cluster.TierConfig{
+			Name: t.Name,
+			Cluster: cluster.Config{
+				Policy:        pol,
+				P99Target:     us(t.P99TargetUS),
+				Topology:      topo,
+				TorLatency:    us(t.TorLatencyUS),
+				DrainHold:     us(t.DrainHoldUS),
+				FeedbackEpoch: us(t.FeedbackEpochUS),
+				Faults:        t.Faults.config(),
+				Members:       sc.memberConfigs(&t.Cluster, kind, opt.Seed),
+			},
+			Spec: spec,
+		}
+	}
+	for i, e := range sc.Edges {
+		gcfg.Edges[i] = cluster.EdgeConfig{
+			From:     names[e.From],
+			To:       names[e.To],
+			HitRatio: e.HitRatio,
+			TTL:      us(e.TTLUS),
+			Fanout:   e.Fanout,
+		}
+	}
+	g, err := reuse.Graph(gcfg, opt.Seed)
+	if err != nil {
+		// Unreachable after Validate + validateTieredPoint; a panic here
+		// is a missing validation rule, not a user error.
+		panic(fmt.Sprintf("scenario %q: %v", sc.Name, err))
+	}
+	gm := g.Measure(opt.Warmup(), opt.Duration)
+
+	p := Point{
+		Axis:       axisValue,
+		AxisLabel:  axisLabel,
+		Workload:   rootSpec.Name,
+		OfferedQPS: rootSpec.MeanQPS(),
+	}
+	if len(gcfg.Edges) == 0 {
+		// One-tier graph: the parity contract — this Point must be
+		// byte-identical to runClusterOne's for the same block.
+		m := &gm.Tiers[0].Fleet
+		p.Served = m.Served
+		p.Generated = m.Generated
+		p.Dropped = m.Dropped
+		p.MeanLatency = m.MeanLatency
+		p.P50Latency = m.P50Latency
+		p.P99Latency = m.P99Latency
+		p.SoCWatts = m.SoCWatts
+		p.DRAMWatts = m.DRAMWatts
+		p.TotalWatts = m.TotalWatts
+		p.CC0Residency = m.CC0Residency
+		p.CC1Residency = m.CC1Residency
+		p.AllIdle = m.AllIdle
+		p.AllIdleCensored = m.AllIdleCensored
+		p.PC1AResidency = m.PC1AResidency
+		p.PC1AEntries = m.PC1AEntries
+		p.OK = m.OK
+		p.Failed = m.Failed
+		p.Retried = m.Retried
+		p.Hedged = m.Hedged
+		p.Shed = m.Shed
+		p.Crashes = m.Crashes
+		p.Brownouts = m.Brownouts
+		p.Partitions = m.Partitions
+		p.GoodputQPS = m.GoodputQPS
+		p.RecoveryP50 = m.RecoveryP50
+		p.RecoveryP99 = m.RecoveryP99
+		p.TruncatedDrain = m.TruncatedDrain
+		if sc.Tiers[0].Servers > 1 {
+			p.Servers = m.Servers
+		}
+		p.Racks = m.Racks
+		return p
+	}
+
+	// Multi-tier: the aggregate row is the client's view — an arrival
+	// counts served when its whole miss tree resolves, latency spans the
+	// tree — over summed power and fault counters; residencies are
+	// server-count-weighted means. The per-tier story lives in p.Tiers.
+	p.Served = gm.Client.Served
+	p.Generated = gm.Tiers[0].Fleet.Generated
+	p.MeanLatency = gm.Client.MeanLatency
+	p.P50Latency = gm.Client.P50Latency
+	p.P99Latency = gm.Client.P99Latency
+	var pc1aSum float64
+	var pc1aServers int
+	var pc1aEntries uint64
+	havePC1A := false
+	totalServers := 0
+	for ti := range gm.Tiers {
+		m := &gm.Tiers[ti].Fleet
+		n := sc.Tiers[ti].Servers
+		totalServers += n
+		p.Dropped += m.Dropped
+		p.SoCWatts += m.SoCWatts
+		p.DRAMWatts += m.DRAMWatts
+		p.TotalWatts += m.TotalWatts
+		p.CC0Residency += m.CC0Residency * float64(n)
+		p.CC1Residency += m.CC1Residency * float64(n)
+		p.AllIdle += m.AllIdle * float64(n)
+		p.AllIdleCensored += m.AllIdleCensored * float64(n)
+		if m.PC1AResidency != nil {
+			havePC1A = true
+			pc1aSum += *m.PC1AResidency * float64(n)
+			pc1aServers += n
+			pc1aEntries += *m.PC1AEntries
+		}
+		p.OK += m.OK
+		p.Failed += m.Failed
+		p.Retried += m.Retried
+		p.Hedged += m.Hedged
+		p.Shed += m.Shed
+		p.Crashes += m.Crashes
+		p.Brownouts += m.Brownouts
+		p.Partitions += m.Partitions
+		p.GoodputQPS += m.GoodputQPS
+		// Worst-case recovery across tiers: a graph is only as healed as
+		// its slowest tier.
+		if m.RecoveryP50 > p.RecoveryP50 {
+			p.RecoveryP50 = m.RecoveryP50
+		}
+		if m.RecoveryP99 > p.RecoveryP99 {
+			p.RecoveryP99 = m.RecoveryP99
+		}
+		p.TruncatedDrain += m.TruncatedDrain
+	}
+	p.CC0Residency /= float64(totalServers)
+	p.CC1Residency /= float64(totalServers)
+	p.AllIdle /= float64(totalServers)
+	p.AllIdleCensored /= float64(totalServers)
+	if havePC1A {
+		res := pc1aSum / float64(pc1aServers)
+		p.PC1AResidency, p.PC1AEntries = &res, &pc1aEntries
+	}
+	p.Tiers = gm.Tiers
+	p.Edges = gm.Edges
+	p.Client = gm.Client
+	return p
+}
+
 // runOne wires one fully-applied scenario point onto a fresh system —
 // the same assembly, warmup and measurement-window sequence the built-in
 // experiments use, so an unswept scenario with no overrides reproduces
@@ -433,13 +718,28 @@ func runOne(sc Scenario, axisValue float64, opt experiments.Options) Point {
 	return p
 }
 
+// effectiveCluster returns the fleet block the rendered output should
+// describe: the cluster block, or the root tier's inlined block when a
+// one-tier graph is standing in for it — a one-tier graph must render
+// byte-for-byte like the cluster block it is (the parity contract).
+// Nil for single-machine scenarios and multi-tier graphs.
+func (r *Result) effectiveCluster() *Cluster {
+	if r.Scenario.Cluster != nil {
+		return r.Scenario.Cluster
+	}
+	if len(r.Scenario.Tiers) == 1 && len(r.Scenario.Edges) == 0 {
+		return &r.Scenario.Tiers[0].Cluster
+	}
+	return nil
+}
+
 // clusterAnnotated reports whether the rendered report should mention
 // the fleet. A 1-server fleet with a fixed policy renders exactly like
 // the single machine it is — the parity contract — so only genuinely
 // multi-server (or cluster-swept) scenarios get the annotation and the
 // per-server breakdown.
 func (r *Result) clusterAnnotated() bool {
-	c := r.Scenario.Cluster
+	c := r.effectiveCluster()
 	return c != nil && (c.Servers > 1 || clusterAxes[r.Axis])
 }
 
@@ -447,10 +747,19 @@ func (r *Result) clusterAnnotated() bool {
 // fault-outcome tables. An absent block — or an all-zero one — renders
 // nothing, so fault-free output keeps its exact byte shape
 // (TestFaultsZeroParity); a fault axis annotates even when the base
-// block is all-zero, since the sweep supplies the non-zero values.
+// block is all-zero, since the sweep supplies the non-zero values. A
+// multi-tier graph annotates when any tier injects faults; the
+// aggregate row then sums the tiers' counters.
 func (r *Result) faultsAnnotated() bool {
-	c := r.Scenario.Cluster
-	return c != nil && (c.Faults.enabled() || faultAxes[r.Axis])
+	if c := r.effectiveCluster(); c != nil {
+		return c.Faults.enabled() || faultAxes[r.Axis]
+	}
+	for i := range r.Scenario.Tiers {
+		if r.Scenario.Tiers[i].Faults.enabled() {
+			return true
+		}
+	}
+	return false
 }
 
 // fleetDesc names the fleet shape for the report header: rack topology
@@ -466,8 +775,15 @@ func fleetDesc(c *Cluster) string {
 func (r *Result) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scenario %s: %s on %s", r.Scenario.Name, r.Scenario.Workload.Service, r.Scenario.Config)
+	if ts := r.Scenario.Tiers; len(ts) > 1 {
+		names := make([]string, len(ts))
+		for i := range ts {
+			names[i] = fmt.Sprintf("%s:%d", ts[i].Name, ts[i].Servers)
+		}
+		fmt.Fprintf(&b, ", %d-tier graph (%s)", len(ts), strings.Join(names, " -> "))
+	}
 	if r.clusterAnnotated() {
-		c := r.Scenario.Cluster
+		c := r.effectiveCluster()
 		switch r.Axis {
 		case AxisServers:
 			fmt.Fprintf(&b, ", fleet (%s)", c.Policy)
@@ -581,6 +897,70 @@ func (r *Result) Report() string {
 			rrows))
 	}
 
+	// Per-tier breakdowns, one block per multi-tier point — which tier
+	// soaked the work and which one idled into PC1A is the service-graph
+	// story, invisible in the client-view aggregate row.
+	for _, p := range r.Points {
+		if len(p.Tiers) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nper-tier [%s=%s]:\n", axisHdr, p.axisCell())
+		trows := make([][]string, 0, len(p.Tiers))
+		for _, tm := range p.Tiers {
+			m := tm.Fleet
+			pc1a := "-"
+			if m.PC1AResidency != nil {
+				pc1a = fmt.Sprintf("%.1f%%", *m.PC1AResidency*100)
+			}
+			trows = append(trows, []string{
+				tm.Name,
+				fmt.Sprintf("%d", m.Generated),
+				fmt.Sprintf("%d", m.Served),
+				fmt.Sprintf("%.1fus", m.MeanLatency*1e6),
+				fmt.Sprintf("%.1fus", m.P99Latency*1e6),
+				fmt.Sprintf("%.1fW", m.TotalWatts),
+				fmt.Sprintf("%.1f%%", m.AllIdle*100),
+				pc1a,
+				fmt.Sprintf("%d", m.Dropped),
+			})
+		}
+		b.WriteString(experiments.RenderTable(
+			[]string{"tier", "arrivals", "served", "mean", "p99", "total", "all-idle", "PC1A res", "dropped"},
+			trows))
+	}
+
+	// Per-edge cache accounting, one block per point with edges — the
+	// miss stream each edge fed downstream, against its configured hit
+	// ratio.
+	for _, p := range r.Points {
+		if len(p.Edges) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nedges [%s=%s]:\n", axisHdr, p.axisCell())
+		erows := make([][]string, 0, len(p.Edges))
+		for _, es := range p.Edges {
+			ttl := "-"
+			if es.TTL > 0 {
+				ttl = fmt.Sprintf("%.0fus", float64(es.TTL)/float64(sim.Microsecond))
+			}
+			erows = append(erows, []string{
+				fmt.Sprintf("%s->%s", es.From, es.To),
+				fmt.Sprintf("%.2f", es.HitRatio),
+				fmt.Sprintf("%.3f", es.MeasuredHitRate),
+				ttl,
+				fmt.Sprintf("%d", es.Fanout),
+				fmt.Sprintf("%d", es.Lookups),
+				fmt.Sprintf("%d", es.Hits),
+				fmt.Sprintf("%d", es.Misses),
+				fmt.Sprintf("%d", es.TTLMisses),
+				fmt.Sprintf("%d", es.Issued),
+			})
+		}
+		b.WriteString(experiments.RenderTable(
+			[]string{"edge", "hit", "measured", "ttl", "fanout", "lookups", "hits", "misses", "ttl-miss", "issued"},
+			erows))
+	}
+
 	// Fault outcomes, one row per point — what the injected failures
 	// cost (failed, shed) and what the robustness mechanisms bought
 	// back (retries, hedges, goodput, time to recover).
@@ -655,32 +1035,88 @@ func (r *Result) WriteCSV(w io.Writer) error {
 			return err
 		}
 	}
-	if !haveRacks {
-		return r.writeFaultsCSV(w)
+	if haveRacks {
+		if _, err := fmt.Fprintln(w, "\naxis,axis_label,rack,local,servers,active_servers,routed,served,dropped,mean_s,p99_s,soc_w,dram_w,total_w,all_idle,pc1a_residency,pc1a_entries"); err != nil {
+			return err
+		}
+		for _, p := range r.Points {
+			for _, rs := range p.Racks {
+				pc1aRes, pc1aEnt := "", ""
+				if rs.PC1AResidency != nil {
+					pc1aRes = fmt.Sprintf("%g", *rs.PC1AResidency)
+				}
+				if rs.PC1AEntries != nil {
+					pc1aEnt = fmt.Sprintf("%d", *rs.PC1AEntries)
+				}
+				if _, err := fmt.Fprintf(w, "%g,%s,%d,%t,%d,%d,%d,%d,%d,%g,%g,%g,%g,%g,%g,%s,%s\n",
+					p.Axis, p.AxisLabel, rs.Index, rs.Local, rs.Servers, rs.ActiveServers,
+					rs.Routed, rs.Served, rs.Dropped,
+					rs.MeanLatency, rs.P99Latency,
+					rs.SoCWatts, rs.DRAMWatts, rs.TotalWatts,
+					rs.AllIdle, pc1aRes, pc1aEnt); err != nil {
+					return err
+				}
+			}
+		}
 	}
-	if _, err := fmt.Fprintln(w, "\naxis,axis_label,rack,local,servers,active_servers,routed,served,dropped,mean_s,p99_s,soc_w,dram_w,total_w,all_idle,pc1a_residency,pc1a_entries"); err != nil {
+	if err := r.writeTiersCSV(w); err != nil {
+		return err
+	}
+	return r.writeFaultsCSV(w)
+}
+
+// writeTiersCSV emits the blank-line-separated per-tier and per-edge
+// tables of multi-tier points. Nothing is written for cluster,
+// single-machine or one-tier scenarios, so their CSV stays
+// byte-identical to the pre-graph format (TestTiersSingleTierParity).
+func (r *Result) writeTiersCSV(w io.Writer) error {
+	haveTiers := false
+	for _, p := range r.Points {
+		if len(p.Tiers) > 0 {
+			haveTiers = true
+			break
+		}
+	}
+	if !haveTiers {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "\naxis,axis_label,tier,served,generated,dropped,mean_s,p50_s,p99_s,soc_w,dram_w,total_w,all_idle,pc1a_residency,pc1a_entries"); err != nil {
 		return err
 	}
 	for _, p := range r.Points {
-		for _, rs := range p.Racks {
+		for _, tm := range p.Tiers {
+			m := tm.Fleet
 			pc1aRes, pc1aEnt := "", ""
-			if rs.PC1AResidency != nil {
-				pc1aRes = fmt.Sprintf("%g", *rs.PC1AResidency)
+			if m.PC1AResidency != nil {
+				pc1aRes = fmt.Sprintf("%g", *m.PC1AResidency)
 			}
-			if rs.PC1AEntries != nil {
-				pc1aEnt = fmt.Sprintf("%d", *rs.PC1AEntries)
+			if m.PC1AEntries != nil {
+				pc1aEnt = fmt.Sprintf("%d", *m.PC1AEntries)
 			}
-			if _, err := fmt.Fprintf(w, "%g,%s,%d,%t,%d,%d,%d,%d,%d,%g,%g,%g,%g,%g,%g,%s,%s\n",
-				p.Axis, p.AxisLabel, rs.Index, rs.Local, rs.Servers, rs.ActiveServers,
-				rs.Routed, rs.Served, rs.Dropped,
-				rs.MeanLatency, rs.P99Latency,
-				rs.SoCWatts, rs.DRAMWatts, rs.TotalWatts,
-				rs.AllIdle, pc1aRes, pc1aEnt); err != nil {
+			if _, err := fmt.Fprintf(w, "%g,%s,%s,%d,%d,%d,%g,%g,%g,%g,%g,%g,%g,%s,%s\n",
+				p.Axis, p.AxisLabel, tm.Name, m.Served, m.Generated, m.Dropped,
+				m.MeanLatency, m.P50Latency, m.P99Latency,
+				m.SoCWatts, m.DRAMWatts, m.TotalWatts,
+				m.AllIdle, pc1aRes, pc1aEnt); err != nil {
 				return err
 			}
 		}
 	}
-	return r.writeFaultsCSV(w)
+	if _, err := fmt.Fprintln(w, "\naxis,axis_label,edge_from,edge_to,hit_ratio,ttl_us,fanout,lookups,hits,misses,ttl_misses,issued,measured_hit_rate"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		for _, es := range p.Edges {
+			if _, err := fmt.Fprintf(w, "%g,%s,%s,%s,%g,%g,%d,%d,%d,%d,%d,%d,%g\n",
+				p.Axis, p.AxisLabel, es.From, es.To, es.HitRatio,
+				float64(es.TTL)/float64(sim.Microsecond), es.Fanout,
+				es.Lookups, es.Hits, es.Misses, es.TTLMisses, es.Issued,
+				es.MeasuredHitRate); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // writeFaultsCSV emits the blank-line-separated fault-outcome table.

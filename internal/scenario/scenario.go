@@ -81,9 +81,56 @@ type Scenario struct {
 	// balancer instead of a single machine. Workload rates (qps, util,
 	// load) are then fleet-aggregate values.
 	Cluster *Cluster `json:"cluster,omitempty"`
+	// Tiers, when present, runs the scenario as a service graph of
+	// fleets on one shared engine (see cluster.Graph): tiers[0] is the
+	// client-facing tier driven by the scenario workload, and every
+	// later tier is a backend driven by upstream misses via Edges.
+	// Mutually exclusive with Cluster — a one-tier graph IS the cluster
+	// block, byte for byte (TestTiersSingleTierParity).
+	Tiers []Tier `json:"tiers,omitempty"`
+	// Edges wires the tiers: each edge performs a cache lookup when a
+	// request resolves in its from-tier and, on a miss, issues fanout
+	// requests into its to-tier. Requires Tiers.
+	Edges []Edge `json:"edges,omitempty"`
 	// Sweep, when present, evaluates the scenario once per axis value
 	// instead of once.
 	Sweep *Sweep `json:"sweep,omitempty"`
+}
+
+// Tier is one tier of a service graph: a name, the backend service
+// family feeding its miss stream (non-root tiers only — the root
+// tier's stream is the scenario workload), and a full fleet shape,
+// inlined from Cluster.
+type Tier struct {
+	// Name labels the tier in reports and is what Edges reference.
+	Name string `json:"name"`
+	// Service is the tier's workload family — "memcached", "mysql" or
+	// "kafka" — supplying the service-time distribution, connection
+	// count and memory accesses of the requests upstream misses issue
+	// into it. Required on every tier but the first; forbidden on the
+	// first, whose stream is the scenario workload.
+	Service string `json:"service,omitempty"`
+	// The fleet shape, inlined: servers, policy, p99_target_us, racks,
+	// tor_latency_us, drain_hold_us, feedback_epoch_us,
+	// server_overrides, faults — exactly the cluster block's fields.
+	Cluster
+}
+
+// Edge is one service-graph edge in scenario units: tier names instead
+// of indices, TTL in microseconds.
+type Edge struct {
+	// From and To name the tiers; a request resolving in From looks up
+	// a cache entry and, on a miss, issues Fanout requests into To.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// HitRatio is the probability a lookup that passes the TTL check
+	// hits, in [0, 1].
+	HitRatio float64 `json:"hit_ratio"`
+	// TTLUS is the per-connection cache-entry lifetime (µs); 0 means no
+	// TTL model (pure Bernoulli misses).
+	TTLUS float64 `json:"ttl_us,omitempty"`
+	// Fanout is how many backend requests one miss issues; 0 means 1.
+	Fanout int `json:"fanout,omitempty"`
 }
 
 // Cluster declares the fleet shape: how many servers sit behind the load
@@ -331,6 +378,9 @@ const (
 	AxisRequestTimeout = "request_timeout_us"
 	AxisMaxRetries     = "max_retries"
 	AxisHedgeDelay     = "hedge_delay_us"
+	AxisHitRatio       = "hit_ratio"
+	AxisFanout         = "fanout"
+	AxisTTL            = "ttl_us"
 )
 
 var knownAxes = map[string]bool{
@@ -340,6 +390,7 @@ var knownAxes = map[string]bool{
 	AxisRacks: true, AxisTorLatency: true, AxisDrainHold: true,
 	AxisFeedbackEpoch: true, AxisMTBF: true, AxisMTTR: true,
 	AxisRequestTimeout: true, AxisMaxRetries: true, AxisHedgeDelay: true,
+	AxisHitRatio: true, AxisFanout: true, AxisTTL: true,
 }
 
 // serverAxes drive server.Config knobs and apply to every service.
@@ -360,6 +411,12 @@ var clusterAxes = map[string]bool{
 var faultAxes = map[string]bool{
 	AxisMTBF: true, AxisMTTR: true, AxisRequestTimeout: true,
 	AxisMaxRetries: true, AxisHedgeDelay: true,
+}
+
+// graphAxes drive the service-graph edges and require a tiers block
+// with at least one edge; each axis value applies to every edge.
+var graphAxes = map[string]bool{
+	AxisHitRatio: true, AxisFanout: true, AxisTTL: true,
 }
 
 // workloadAxes lists which workload-side axes each service actually
@@ -442,8 +499,27 @@ func (s Scenario) at(axis string, v float64) Scenario {
 		s.atFaults(func(f *Faults) { f.MaxRetries = int(v) })
 	case AxisHedgeDelay:
 		s.atFaults(func(f *Faults) { f.HedgeDelayUS = v })
+	case AxisHitRatio:
+		s.atEdges(func(e *Edge) { e.HitRatio = v })
+	case AxisFanout:
+		s.atEdges(func(e *Edge) { e.Fanout = int(v) })
+	case AxisTTL:
+		s.atEdges(func(e *Edge) { e.TTLUS = v })
 	}
 	return s
+}
+
+// atEdges applies one edge-axis mutation to every edge, cloning the
+// slice first so applied points never alias the original scenario's
+// edges (Validate guarantees edges exist whenever an edge axis is
+// swept).
+func (s *Scenario) atEdges(mut func(*Edge)) {
+	es := make([]Edge, len(s.Edges))
+	copy(es, s.Edges)
+	for i := range es {
+		mut(&es[i])
+	}
+	s.Edges = es
 }
 
 // atFaults applies one fault-axis mutation, cloning both the cluster
@@ -487,7 +563,10 @@ func (s *Scenario) Validate() error {
 		if clusterAxes[s.Sweep.Axis] && s.Cluster == nil {
 			return fmt.Errorf("scenario %q: sweep axis %q needs a cluster block", s.Name, s.Sweep.Axis)
 		}
-		if !serverAxes[s.Sweep.Axis] && !clusterAxes[s.Sweep.Axis] &&
+		if graphAxes[s.Sweep.Axis] && len(s.Edges) == 0 {
+			return fmt.Errorf("scenario %q: sweep axis %q needs a tiers block with edges", s.Name, s.Sweep.Axis)
+		}
+		if !serverAxes[s.Sweep.Axis] && !clusterAxes[s.Sweep.Axis] && !graphAxes[s.Sweep.Axis] &&
 			!workloadAxes[s.Workload.Service][s.Sweep.Axis] {
 			return fmt.Errorf("scenario %q: service %q ignores sweep axis %q — every point would be identical",
 				s.Name, s.Workload.Service, s.Sweep.Axis)
@@ -516,15 +595,21 @@ func (s *Scenario) Validate() error {
 			if v < 0 {
 				return fmt.Errorf("scenario %q: negative %s value %g", s.Name, s.Sweep.Axis, v)
 			}
-			if (s.Sweep.Axis == AxisThreads || s.Sweep.Axis == AxisServers || s.Sweep.Axis == AxisRacks || s.Sweep.Axis == AxisMaxRetries) && v != float64(int(v)) {
+			if (s.Sweep.Axis == AxisThreads || s.Sweep.Axis == AxisServers || s.Sweep.Axis == AxisRacks || s.Sweep.Axis == AxisMaxRetries || s.Sweep.Axis == AxisFanout) && v != float64(int(v)) {
 				return fmt.Errorf("scenario %q: %s value %g is not an integer", s.Name, s.Sweep.Axis, v)
 			}
-			if (s.Sweep.Axis == AxisServers || s.Sweep.Axis == AxisRacks) && v < 1 {
+			if (s.Sweep.Axis == AxisServers || s.Sweep.Axis == AxisRacks || s.Sweep.Axis == AxisFanout) && v < 1 {
 				return fmt.Errorf("scenario %q: %s value %g is below 1", s.Name, s.Sweep.Axis, v)
+			}
+			if s.Sweep.Axis == AxisHitRatio && v > 1 {
+				return fmt.Errorf("scenario %q: %s value %g is outside [0, 1]", s.Name, s.Sweep.Axis, v)
 			}
 		}
 	}
 	if err := s.validateCluster(); err != nil {
+		return err
+	}
+	if err := s.validateTiers(); err != nil {
 		return err
 	}
 	if s.DurationMS < 0 {
@@ -552,8 +637,16 @@ func (s *Scenario) validateCluster() error {
 	if s.Workload.Service == "sysbench" {
 		return fmt.Errorf("scenario %q: cluster needs an open-loop service — closed-loop sysbench clients bind to one machine and bypass the balancer", s.Name)
 	}
+	return s.validateClusterBlock(c, sweepAxis, "cluster")
+}
+
+// validateClusterBlock checks one fleet-shape block — the scenario's
+// cluster block (label "cluster", with sweep-driven fields relaxed) or
+// a tier's inlined block (label "tiers[i]", sweepAxis empty: tier
+// fields are never sweep-driven, so every field must be concrete).
+func (s *Scenario) validateClusterBlock(c *Cluster, sweepAxis, label string) error {
 	if c.Servers < 1 && sweepAxis != AxisServers {
-		return fmt.Errorf("scenario %q: cluster.servers must be at least 1", s.Name)
+		return fmt.Errorf("scenario %q: %s.servers must be at least 1", s.Name, label)
 	}
 	needsTarget := func(p cluster.Policy) bool {
 		return p == cluster.PowerAware || p == cluster.RackPowerAware
@@ -561,7 +654,7 @@ func (s *Scenario) validateCluster() error {
 	capped := false
 	if sweepAxis == AxisPolicy {
 		if c.Policy != "" {
-			return fmt.Errorf("scenario %q: cluster.policy %q conflicts with the policy sweep — leave it empty", s.Name, c.Policy)
+			return fmt.Errorf("scenario %q: %s.policy %q conflicts with the policy sweep — leave it empty", s.Name, label, c.Policy)
 		}
 		for _, p := range s.Sweep.Policies {
 			if pol, err := cluster.ParsePolicy(p); err == nil && needsTarget(pol) {
@@ -576,28 +669,28 @@ func (s *Scenario) validateCluster() error {
 		capped = needsTarget(pol)
 	}
 	if c.P99TargetUS < 0 {
-		return fmt.Errorf("scenario %q: negative cluster.p99_target_us", s.Name)
+		return fmt.Errorf("scenario %q: negative %s.p99_target_us", s.Name, label)
 	}
 	if capped && c.P99TargetUS <= 0 {
-		return fmt.Errorf("scenario %q: power_aware policies need cluster.p99_target_us > 0", s.Name)
+		return fmt.Errorf("scenario %q: power_aware policies need %s.p99_target_us > 0", s.Name, label)
 	}
 	if c.Racks < 0 {
-		return fmt.Errorf("scenario %q: negative cluster.racks", s.Name)
+		return fmt.Errorf("scenario %q: negative %s.racks", s.Name, label)
 	}
 	if c.TorLatencyUS < 0 {
-		return fmt.Errorf("scenario %q: negative cluster.tor_latency_us", s.Name)
+		return fmt.Errorf("scenario %q: negative %s.tor_latency_us", s.Name, label)
 	}
 	if c.DrainHoldUS < 0 {
-		return fmt.Errorf("scenario %q: negative cluster.drain_hold_us", s.Name)
+		return fmt.Errorf("scenario %q: negative %s.drain_hold_us", s.Name, label)
 	}
 	if c.FeedbackEpochUS < 0 {
-		return fmt.Errorf("scenario %q: negative cluster.feedback_epoch_us", s.Name)
+		return fmt.Errorf("scenario %q: negative %s.feedback_epoch_us", s.Name, label)
 	}
 	// The balancer-dynamics knobs only act on the cap-based packing
 	// policies; anywhere else they would be silently inert, like
 	// sweeping an ignored axis.
 	if (c.DrainHoldUS > 0 || c.FeedbackEpochUS > 0) && !capped {
-		return fmt.Errorf("scenario %q: cluster.drain_hold_us/feedback_epoch_us need a power_aware or rack_power_aware policy", s.Name)
+		return fmt.Errorf("scenario %q: %s.drain_hold_us/feedback_epoch_us need a power_aware or rack_power_aware policy", s.Name, label)
 	}
 	if (sweepAxis == AxisDrainHold || sweepAxis == AxisFeedbackEpoch) && !capped {
 		return fmt.Errorf("scenario %q: the %s axis needs a power_aware or rack_power_aware policy", s.Name, sweepAxis)
@@ -605,7 +698,7 @@ func (s *Scenario) validateCluster() error {
 	// A ToR hop with nothing non-local to cross would be silently inert,
 	// like sweeping an ignored axis — reject it up front.
 	if c.TorLatencyUS > 0 && c.Racks <= 1 && sweepAxis != AxisRacks {
-		return fmt.Errorf("scenario %q: cluster.tor_latency_us needs racks > 1", s.Name)
+		return fmt.Errorf("scenario %q: %s.tor_latency_us needs racks > 1", s.Name, label)
 	}
 	if sweepAxis == AxisTorLatency && c.Racks <= 1 {
 		return fmt.Errorf("scenario %q: the %s axis needs cluster.racks > 1 — a flat fleet pays no ToR hop", s.Name, AxisTorLatency)
@@ -613,22 +706,22 @@ func (s *Scenario) validateCluster() error {
 	for key, ov := range c.ServerOverrides {
 		idx, err := strconv.Atoi(key)
 		if err != nil || idx < 0 {
-			return fmt.Errorf("scenario %q: cluster.server_overrides key %q is not a server index", s.Name, key)
+			return fmt.Errorf("scenario %q: %s.server_overrides key %q is not a server index", s.Name, label, key)
 		}
 		if err := ov.validate(); err != nil {
 			return fmt.Errorf("scenario %q: server_overrides[%s]: %w", s.Name, key, err)
 		}
 	}
-	return s.validateFaults(sweepAxis)
+	return s.validateFaultsBlock(c, sweepAxis, label)
 }
 
-// validateFaults checks the cluster.faults block: non-negative knobs,
-// the same coherence rules cluster.FaultConfig enforces at assembly
-// (restated here so a bad file fails at load, not mid-run), and the
-// package's "silently inert knob" rule — a field whose mechanism can
-// never fire is a typo, not a configuration.
-func (s *Scenario) validateFaults(sweepAxis string) error {
-	c := s.Cluster
+// validateFaultsBlock checks one faults block (the cluster block's or a
+// tier's): non-negative knobs, the same coherence rules
+// cluster.FaultConfig enforces at assembly (restated here so a bad file
+// fails at load, not mid-run), and the package's "silently inert knob"
+// rule — a field whose mechanism can never fire is a typo, not a
+// configuration.
+func (s *Scenario) validateFaultsBlock(c *Cluster, sweepAxis, label string) error {
 	fc := c.Faults
 	if fc == nil {
 		if faultAxes[sweepAxis] {
@@ -644,20 +737,20 @@ func (s *Scenario) validateFaults(sweepAxis string) error {
 		"request_timeout_us": fc.RequestTimeoutUS, "hedge_delay_us": fc.HedgeDelayUS,
 	} {
 		if v < 0 {
-			return fmt.Errorf("scenario %q: negative cluster.faults.%s", s.Name, name)
+			return fmt.Errorf("scenario %q: negative %s.faults.%s", s.Name, label, name)
 		}
 	}
 	if fc.MaxRetries < 0 {
-		return fmt.Errorf("scenario %q: negative cluster.faults.max_retries", s.Name)
+		return fmt.Errorf("scenario %q: negative %s.faults.max_retries", s.Name, label)
 	}
 	// Crash process: a crash with no repair never ends; a repair time
 	// with no crash process never fires. The mtbf_us axis supplies the
 	// crash side per point, so mttr_us alone is fine under it.
 	if (fc.MTBFUS > 0 || sweepAxis == AxisMTBF) && fc.MTTRUS <= 0 && sweepAxis != AxisMTTR {
-		return fmt.Errorf("scenario %q: cluster.faults.mtbf_us needs mttr_us > 0", s.Name)
+		return fmt.Errorf("scenario %q: %s.faults.mtbf_us needs mttr_us > 0", s.Name, label)
 	}
 	if fc.MTTRUS > 0 && fc.MTBFUS <= 0 && sweepAxis != AxisMTBF {
-		return fmt.Errorf("scenario %q: cluster.faults.mttr_us needs mtbf_us > 0 (or the %s axis)", s.Name, AxisMTBF)
+		return fmt.Errorf("scenario %q: %s.faults.mttr_us needs mtbf_us > 0 (or the %s axis)", s.Name, label, AxisMTBF)
 	}
 	if sweepAxis == AxisMTTR {
 		if fc.MTBFUS <= 0 {
@@ -671,18 +764,18 @@ func (s *Scenario) validateFaults(sweepAxis string) error {
 	}
 	// Brownout process: the three fields only act together.
 	if fc.BrownoutMTBFUS > 0 && (fc.BrownoutDurationUS <= 0 || fc.BrownoutFactor <= 1) {
-		return fmt.Errorf("scenario %q: cluster.faults.brownout_mtbf_us needs brownout_duration_us > 0 and brownout_factor > 1", s.Name)
+		return fmt.Errorf("scenario %q: %s.faults.brownout_mtbf_us needs brownout_duration_us > 0 and brownout_factor > 1", s.Name, label)
 	}
 	if (fc.BrownoutDurationUS > 0 || fc.BrownoutFactor != 0) && fc.BrownoutMTBFUS <= 0 {
-		return fmt.Errorf("scenario %q: cluster.faults.brownout_duration_us/brownout_factor need brownout_mtbf_us > 0", s.Name)
+		return fmt.Errorf("scenario %q: %s.faults.brownout_duration_us/brownout_factor need brownout_mtbf_us > 0", s.Name, label)
 	}
 	// Partition process: needs a duration and a ToR to cut.
 	if fc.TorPartitionMTBFUS > 0 {
 		if fc.TorPartitionDurationUS <= 0 {
-			return fmt.Errorf("scenario %q: cluster.faults.tor_partition_mtbf_us needs tor_partition_duration_us > 0", s.Name)
+			return fmt.Errorf("scenario %q: %s.faults.tor_partition_mtbf_us needs tor_partition_duration_us > 0", s.Name, label)
 		}
 		if c.Racks <= 1 && sweepAxis != AxisRacks {
-			return fmt.Errorf("scenario %q: cluster.faults.tor_partition_mtbf_us needs racks > 1 — a flat fleet has no ToR uplink to cut", s.Name)
+			return fmt.Errorf("scenario %q: %s.faults.tor_partition_mtbf_us needs racks > 1 — a flat fleet has no ToR uplink to cut", s.Name, label)
 		}
 		if sweepAxis == AxisRacks {
 			for _, v := range s.Sweep.Values {
@@ -693,7 +786,7 @@ func (s *Scenario) validateFaults(sweepAxis string) error {
 		}
 	}
 	if fc.TorPartitionDurationUS > 0 && fc.TorPartitionMTBFUS <= 0 {
-		return fmt.Errorf("scenario %q: cluster.faults.tor_partition_duration_us needs tor_partition_mtbf_us > 0", s.Name)
+		return fmt.Errorf("scenario %q: %s.faults.tor_partition_duration_us needs tor_partition_mtbf_us > 0", s.Name, label)
 	}
 	// Retries only fire on a timeout or an injected loss; with neither
 	// the budget is inert.
@@ -701,9 +794,174 @@ func (s *Scenario) validateFaults(sweepAxis string) error {
 		sweepAxis == AxisMTBF
 	if (fc.MaxRetries > 0 || sweepAxis == AxisMaxRetries) &&
 		fc.RequestTimeoutUS <= 0 && sweepAxis != AxisRequestTimeout && !injecting {
-		return fmt.Errorf("scenario %q: cluster.faults.max_retries needs request_timeout_us > 0 or a fault-injection process — nothing would ever retry", s.Name)
+		return fmt.Errorf("scenario %q: %s.faults.max_retries needs request_timeout_us > 0 or a fault-injection process — nothing would ever retry", s.Name, label)
 	}
 	return nil
+}
+
+// validateTiers checks the tiers/edges service-graph blocks. Failures
+// inside one tier or edge are wrapped in a blockError so load can point
+// at the element's line and column in the source file.
+func (s *Scenario) validateTiers() error {
+	if len(s.Tiers) == 0 {
+		if len(s.Edges) > 0 {
+			return fmt.Errorf("scenario %q: edges need a tiers block", s.Name)
+		}
+		return nil
+	}
+	if s.Cluster != nil {
+		return fmt.Errorf("scenario %q: tiers and cluster are mutually exclusive — a one-tier graph is the cluster block", s.Name)
+	}
+	if s.Workload.Service == "sysbench" {
+		return fmt.Errorf("scenario %q: tiers need an open-loop service — closed-loop sysbench clients bind to one machine and bypass the balancer", s.Name)
+	}
+	sweepAxis := ""
+	if s.Sweep != nil {
+		sweepAxis = s.Sweep.Axis
+	}
+	if clusterAxes[sweepAxis] {
+		// Unreachable today (clusterAxes require a cluster block, which
+		// tiers exclude), kept as a guard: tier fields are never
+		// sweep-driven.
+		return fmt.Errorf("scenario %q: sweep axis %q drives the cluster block, which tiers replace", s.Name, sweepAxis)
+	}
+	names := make(map[string]int, len(s.Tiers))
+	for i := range s.Tiers {
+		t := &s.Tiers[i]
+		if t.Name == "" {
+			return blockErr("tiers", i, fmt.Errorf("scenario %q: tiers[%d] has no name", s.Name, i))
+		}
+		if j, dup := names[t.Name]; dup {
+			return blockErr("tiers", i, fmt.Errorf("scenario %q: tiers[%d] duplicates tier name %q (tiers[%d])", s.Name, i, t.Name, j))
+		}
+		names[t.Name] = i
+		if i == 0 && t.Service != "" {
+			return blockErr("tiers", 0, fmt.Errorf("scenario %q: tiers[0] (%q) is driven by the scenario workload — drop its service field", s.Name, t.Name))
+		}
+		if i > 0 {
+			switch t.Service {
+			case "memcached", "mysql", "kafka":
+			case "":
+				return blockErr("tiers", i, fmt.Errorf("scenario %q: tiers[%d] (%q) needs a service — the miss stream must know what requests to issue", s.Name, i, t.Name))
+			default:
+				return blockErr("tiers", i, fmt.Errorf("scenario %q: tiers[%d] (%q) has unknown service %q (want memcached, mysql or kafka)", s.Name, i, t.Name, t.Service))
+			}
+		}
+		if err := s.validateClusterBlock(&t.Cluster, "", fmt.Sprintf("tiers[%d]", i)); err != nil {
+			return blockErr("tiers", i, err)
+		}
+	}
+	for i := range s.Edges {
+		e := &s.Edges[i]
+		from, ok := names[e.From]
+		if !ok {
+			return blockErr("edges", i, fmt.Errorf("scenario %q: edges[%d].from names unknown tier %q", s.Name, i, e.From))
+		}
+		to, ok := names[e.To]
+		if !ok {
+			return blockErr("edges", i, fmt.Errorf("scenario %q: edges[%d].to names unknown tier %q", s.Name, i, e.To))
+		}
+		if from == to {
+			return blockErr("edges", i, fmt.Errorf("scenario %q: edges[%d] loops tier %q onto itself", s.Name, i, e.From))
+		}
+		if to == 0 {
+			return blockErr("edges", i, fmt.Errorf("scenario %q: edges[%d] feeds tier %q — tiers[0] is the client-facing tier and takes no in-edges", s.Name, i, e.To))
+		}
+		if e.HitRatio < 0 || e.HitRatio > 1 {
+			return blockErr("edges", i, fmt.Errorf("scenario %q: edges[%d].hit_ratio %g is outside [0, 1]", s.Name, i, e.HitRatio))
+		}
+		if e.TTLUS < 0 {
+			return blockErr("edges", i, fmt.Errorf("scenario %q: negative edges[%d].ttl_us", s.Name, i))
+		}
+		if e.Fanout < 0 {
+			return blockErr("edges", i, fmt.Errorf("scenario %q: negative edges[%d].fanout", s.Name, i))
+		}
+		// An edge that can never miss makes fan-out (configured or swept)
+		// silently inert — unless the sweep drives the miss model itself.
+		neverMisses := e.HitRatio >= 1 && e.TTLUS == 0 &&
+			sweepAxis != AxisHitRatio && sweepAxis != AxisTTL
+		if e.Fanout > 1 && neverMisses {
+			return blockErr("edges", i, fmt.Errorf("scenario %q: edges[%d] sets fanout %d on an edge that never misses (hit_ratio 1, no ttl)", s.Name, i, e.Fanout))
+		}
+		if sweepAxis == AxisFanout && neverMisses {
+			return blockErr("edges", i, fmt.Errorf("scenario %q: the %s axis is inert on edges[%d] — it never misses (hit_ratio 1, no ttl)", s.Name, AxisFanout, i))
+		}
+		// A sweep value can recreate the never-miss shape per point:
+		// hit_ratio swept to 1 (or ttl_us to 0) on a fan-out edge.
+		if e.Fanout > 1 {
+			if sweepAxis == AxisHitRatio && e.TTLUS == 0 {
+				for _, v := range s.Sweep.Values {
+					if v >= 1 {
+						return blockErr("edges", i, fmt.Errorf("scenario %q: %s value %g makes edges[%d] never miss — its fanout %d would be silently inert", s.Name, AxisHitRatio, v, i, e.Fanout))
+					}
+				}
+			}
+			if sweepAxis == AxisTTL && e.HitRatio >= 1 {
+				for _, v := range s.Sweep.Values {
+					if v == 0 {
+						return blockErr("edges", i, fmt.Errorf("scenario %q: %s value 0 makes edges[%d] never miss — its fanout %d would be silently inert", s.Name, AxisTTL, i, e.Fanout))
+					}
+				}
+			}
+		}
+	}
+	adj := make([][]int, len(s.Tiers))
+	for _, e := range s.Edges {
+		adj[names[e.From]] = append(adj[names[e.From]], names[e.To])
+	}
+	// An edge closes a cycle exactly when its source is already
+	// reachable from its destination.
+	for i := range s.Edges {
+		e := &s.Edges[i]
+		if reaches(adj, names[e.To], names[e.From]) {
+			return blockErr("edges", i, fmt.Errorf("scenario %q: edges[%d] (%s -> %s) closes a cycle — the service graph must be acyclic", s.Name, i, e.From, e.To))
+		}
+	}
+	// Every tier must sit on a path from the root, or it simulates
+	// nothing — a silently inert tier, rejected like an ignored axis.
+	seen := make([]bool, len(s.Tiers))
+	seen[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		for _, n := range adj[t] {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return blockErr("tiers", i, fmt.Errorf("scenario %q: tiers[%d] (%q) is unreachable from tiers[0] — it would be silently inert", s.Name, i, s.Tiers[i].Name))
+		}
+	}
+	return nil
+}
+
+// reaches reports whether target is reachable from start in adj.
+func reaches(adj [][]int, start, target int) bool {
+	if start == target {
+		return true
+	}
+	seen := make([]bool, len(adj))
+	seen[start] = true
+	stack := []int{start}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range adj[t] {
+			if n == target {
+				return true
+			}
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return false
 }
 
 // validateTrace checks the workload.trace block with validateFaults'
@@ -833,7 +1091,7 @@ func load(data []byte, baseDir string) ([]Scenario, error) {
 	}
 	for i := range scs {
 		if err := scs[i].Validate(); err != nil {
-			return nil, err
+			return nil, locateBlockError(data, err)
 		}
 		if err := scs[i].preflightTrace(baseDir, data); err != nil {
 			return nil, err
@@ -885,6 +1143,112 @@ func (t *Trace) preflight() error {
 		return fmt.Errorf("%s: cannot loop a trace whose last timestamp is 0", t.Path)
 	}
 	return nil
+}
+
+// blockError tags a tiers/edges validation failure with the JSON array
+// it came from ("tiers" or "edges") and the failing element's index, so
+// load can point at the element's line and column in the source file.
+// Programmatic callers of Validate see it as a plain error.
+type blockError struct {
+	key   string
+	index int
+	err   error
+}
+
+func (e *blockError) Error() string { return e.err.Error() }
+func (e *blockError) Unwrap() error { return e.err }
+
+func blockErr(key string, index int, err error) error {
+	return &blockError{key: key, index: index, err: err}
+}
+
+// locateBlockError prefixes a blockError with the line and column of
+// the failing tiers/edges element in the JSON source. Like
+// locatePathError it is best-effort: if the keyed array appears zero
+// times or more than once in the file, the error passes through
+// unchanged rather than pointing at the wrong element.
+func locateBlockError(data []byte, err error) error {
+	var be *blockError
+	if !errors.As(err, &be) {
+		return err
+	}
+	off, ok := locateArrayElement(data, be.key, be.index)
+	if !ok {
+		return err
+	}
+	prefix := data[:off]
+	line := 1 + bytes.Count(prefix, []byte("\n"))
+	col := off - int64(bytes.LastIndexByte(prefix, '\n'))
+	if col < 1 {
+		col = 1
+	}
+	return fmt.Errorf("line %d, column %d: %w", line, col, err)
+}
+
+// locateArrayElement walks the JSON token stream and returns the byte
+// offset of the opening brace of element `index` of the array keyed by
+// `key`. It reports ok=false when the key's array appears zero times or
+// more than once (ambiguous), or the element is not an object.
+func locateArrayElement(data []byte, key string, index int) (int64, bool) {
+	type frame struct {
+		obj       bool // object frame (vs array)
+		expectKey bool // next string token is an object key
+		matched   bool // array frame holding the keyed elements
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var stack []frame
+	pendingMatch := false // the next '[' is the keyed array's opening
+	var matches [][]int64 // element start offsets, per matched array
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch t := tok.(type) {
+		case json.Delim:
+			switch t {
+			case '{', '[':
+				if t == '{' && len(stack) > 0 {
+					if top := &stack[len(stack)-1]; !top.obj && top.matched {
+						// A direct element of the keyed array: its '{' is
+						// the byte just consumed.
+						matches[len(matches)-1] = append(matches[len(matches)-1], dec.InputOffset()-1)
+					}
+				}
+				isMatch := t == '[' && pendingMatch
+				if isMatch {
+					matches = append(matches, nil)
+				}
+				stack = append(stack, frame{obj: t == '{', expectKey: t == '{', matched: isMatch})
+				pendingMatch = false
+			case '}', ']':
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					if top := &stack[len(stack)-1]; top.obj {
+						top.expectKey = true
+					}
+				}
+			}
+		default:
+			pendingMatch = false
+			if len(stack) > 0 {
+				if top := &stack[len(stack)-1]; top.obj {
+					if top.expectKey {
+						if s, isStr := tok.(string); isStr && s == key {
+							pendingMatch = true
+						}
+						top.expectKey = false
+					} else {
+						top.expectKey = true
+					}
+				}
+			}
+		}
+	}
+	if len(matches) != 1 || index >= len(matches[0]) {
+		return 0, false
+	}
+	return matches[0][index], true
 }
 
 // locatePathError prefixes an error with the line and column of the

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"testing"
+
+	"agilepkgc/internal/sim"
+)
+
+func TestPushSourceEmit(t *testing.T) {
+	eng := sim.NewEngine()
+	var got []*Request
+	p := NewPushSource(eng, MySQL(0.1, 4), 3, func(r *Request) { got = append(got, r) })
+
+	p.Start(sim.Second) // no-op; must not schedule anything
+	if eng.Pending() != 0 {
+		t.Fatalf("Start scheduled %d events, want 0", eng.Pending())
+	}
+	if id := p.Emit(7); id != 0 {
+		t.Fatalf("first Emit ID = %d, want 0", id)
+	}
+	eng.Run(5 * sim.Microsecond)
+	if next := p.Generated(); next != 1 {
+		t.Fatalf("Generated = %d after one Emit", next)
+	}
+	if id := p.Emit(9); id != 1 {
+		t.Fatalf("second Emit ID = %d, want 1", id)
+	}
+	if len(got) != 2 {
+		t.Fatalf("sink saw %d requests, want 2", len(got))
+	}
+	if got[0].Conn != 7 || got[1].Conn != 9 {
+		t.Errorf("connections not preserved: %d, %d", got[0].Conn, got[1].Conn)
+	}
+	if got[1].Arrival != 5*sim.Microsecond {
+		t.Errorf("arrival %v, want the Emit instant 5µs", got[1].Arrival)
+	}
+	if got[0].Service <= 0 || got[0].MemAccesses == 0 {
+		t.Errorf("service/mem not sampled from spec: %+v", got[0])
+	}
+
+	// Release pools the request for the next Emit.
+	p.Release(got[0])
+	before := got[0]
+	p.Emit(1)
+	if got[2] != before {
+		t.Error("Emit did not reuse the released request")
+	}
+
+	// Reset rewinds the ID sequence and keeps the pool.
+	p.Release(got[2])
+	p.Reset(Memcached(100), 9)
+	if p.Generated() != 0 {
+		t.Errorf("Generated = %d after Reset, want 0", p.Generated())
+	}
+	if id := p.Emit(0); id != 0 {
+		t.Errorf("post-Reset Emit ID = %d, want 0", id)
+	}
+}
+
+func TestPushSourceNilSink(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil sink accepted")
+		}
+	}()
+	NewPushSource(sim.NewEngine(), Memcached(1), 1, nil)
+}

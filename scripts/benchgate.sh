@@ -12,18 +12,20 @@
 #   - WARNS on ns/op drift beyond ±30%. Time is machine-dependent
 #     (shared CI runners wobble ±15% run to run), so speed is reported,
 #     not enforced; read the warnings against the uploaded bench.txt.
-#   - WARNS when a baseline benchmark is missing from the new snapshot,
-#     so coverage cannot silently shrink.
+#   - FAILS (exit 1) when a baseline benchmark is missing from the new
+#     snapshot, so coverage cannot silently shrink. A deliberately
+#     retired benchmark must be removed from the baseline in the same
+#     PR that deletes it.
 #
 # With no first argument the suite is run first (scripts/bench.sh all)
 # into bench-gate.json. The baseline defaults to this PR's committed
 # snapshot; after a deliberate perf change, regenerate it with
-# `scripts/bench.sh all BENCH_pr8.json` and commit the diff.
+# `scripts/bench.sh all BENCH_pr9.json` and commit the diff.
 set -e
 cd "$(dirname "$0")/.."
 
 NEW="${1:-}"
-BASE="${2:-BENCH_pr8.json}"
+BASE="${2:-BENCH_pr9.json}"
 
 if [ -z "$NEW" ]; then
 	NEW=bench-gate.json
@@ -74,7 +76,8 @@ END {
 	fail = 0
 	for (n in seenbase) {
 		if (!(n in seennew)) {
-			printf "benchgate: WARN %s in %s but missing from %s\n", n, base, new
+			printf "benchgate: FAIL %s in %s but missing from %s\n", n, base, new
+			fail = 1
 			continue
 		}
 		if (ballocs[n] != "" && nallocs[n] != "" && nallocs[n] + 0 > ballocs[n] + 0) {
@@ -89,7 +92,7 @@ END {
 		}
 	}
 	if (fail) {
-		print "benchgate: allocs/op regressed — see FAIL lines above"
+		print "benchgate: gate failed — see FAIL lines above"
 		exit 1
 	}
 	print "benchgate: OK — no allocs/op regressions vs " base

@@ -1,0 +1,39 @@
+#!/bin/sh
+# covergate.sh [outdir] — the per-package coverage floor.
+#
+# Runs `go test -coverprofile` for each gated package, renders an HTML
+# report per package into the output directory (default ./cover; CI
+# uploads it as an artifact), and FAILS (exit 1) if any package's total
+# statement coverage falls below the floor. The gate covers the
+# packages where a silent coverage slide is most expensive — the
+# cluster layer's routing/graph machinery, the scenario loader's
+# validation surface, and the workload generators the determinism
+# contract leans on — not the whole module, so the floor can be
+# meaningful rather than diluted by thin glue packages.
+set -e
+cd "$(dirname "$0")/.."
+
+OUT="${1:-cover}"
+FLOOR=70
+mkdir -p "$OUT"
+
+fail=0
+for pkg in $(go list ./internal/cluster ./internal/scenario ./internal/workload/...); do
+	name=$(echo "$pkg" | tr '/' '_')
+	profile="$OUT/$name.out"
+	go test -coverprofile="$profile" "$pkg" >/dev/null
+	pct=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
+	go tool cover -html="$profile" -o "$OUT/$name.html"
+	if awk -v p="$pct" -v f="$FLOOR" 'BEGIN { exit !(p + 0 < f + 0) }'; then
+		echo "covergate: FAIL $pkg ${pct}% < ${FLOOR}%"
+		fail=1
+	else
+		echo "covergate: OK $pkg ${pct}% >= ${FLOOR}%"
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "covergate: coverage floor violated — see FAIL lines above"
+	exit 1
+fi
+echo "covergate: every gated package at or above ${FLOOR}%"
