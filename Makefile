@@ -26,12 +26,16 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
-# lint runs the deeper static analyzers when they are installed and
-# skips them with a pointer when they are not, so `make ci` stays
-# runnable on a fresh checkout with only a Go toolchain. The GitHub
-# workflow installs both tools before running ci, so the skip never
-# fires there — absent-locally is tolerated, absent-in-CI is not.
+# lint always runs apcvet — the repo's own invariant suite needs
+# nothing beyond the Go toolchain, so unlike the external analyzers
+# below it has no "not installed" escape hatch — and then runs the
+# deeper external analyzers when they are installed, skipping them
+# with a pointer when they are not, so `make ci` stays runnable on a
+# fresh checkout. The GitHub workflow installs both tools before
+# running ci, so the skip never fires there — absent-locally is
+# tolerated, absent-in-CI is not.
 lint:
+	$(GO) run ./cmd/apcvet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"agilepkgc/internal/analysis"
+)
+
+// TestHelpListsAllPasses locks the -help surface: every registered
+// pass appears in the usage text, so a pass cannot be added without
+// its contract being discoverable.
+func TestHelpListsAllPasses(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-help"}); code != 0 {
+		t.Fatalf("run(-help) = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(stderr.String(), a.Name) {
+			t.Errorf("-help output does not mention the %s pass:\n%s", a.Name, stderr.String())
+		}
+	}
+}
+
+// TestCleanPackageExitsZero smoke-tests the multichecker end to end
+// over a real module package (resolved by import path, so the test's
+// working directory inside cmd/apcvet does not matter).
+func TestCleanPackageExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"agilepkgc/internal/sim"}); code != 0 {
+		t.Fatalf("run over internal/sim = %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean package produced diagnostics:\n%s", stdout.String())
+	}
+}
+
+// TestBadPatternExitsTwo: load failures are exit 2 (distinct from
+// "invariant violated", exit 1), so CI can tell a broken build from a
+// broken invariant.
+func TestBadPatternExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"agilepkgc/internal/no-such-package"}); code != 2 {
+		t.Fatalf("run over a nonexistent package = %d, want 2\nstderr:\n%s", code, stderr.String())
+	}
+}

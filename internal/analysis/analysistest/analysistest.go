@@ -1,0 +1,195 @@
+// Package analysistest runs apcvet analyzers over fixture packages and
+// checks their diagnostics against inline expectations, in the style
+// of golang.org/x/tools/go/analysis/analysistest but built on the
+// stdlib only (this module vendors no dependencies).
+//
+// A fixture is a directory of .go files forming one package. Every
+// line that should produce diagnostics carries a trailing comment of
+// the form
+//
+//	// want "regexp" "another regexp"
+//
+// with one quoted regexp per expected diagnostic on that line. The
+// harness fails the test for any diagnostic with no matching
+// expectation and for any expectation no diagnostic matched — so a
+// fixture locks both that violations are caught and that clean idioms
+// stay clean.
+//
+// Fixtures may import standard-library packages only; export data is
+// resolved through `go list -export`, exactly like the real loader
+// (load.go), so the tests run offline.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"agilepkgc/internal/analysis"
+)
+
+// wantRE matches one quoted expectation in a `// want` comment —
+// either a double-quoted Go string or a raw backquoted regexp.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run analyzes the fixture package in dir under the given import path
+// (the path matters: the determinism pass scopes itself to paths with
+// an "internal" element) and checks diagnostics against the fixture's
+// `// want` expectations.
+func Run(t *testing.T, dir, pkgPath string, analyzers []*analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	wants := map[string]map[int][]*expectation{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+		wants[name] = parseWants(t, name)
+	}
+	pkg, err := analysis.CheckPackage(fset, pkgPath, files, stdImporter(t, fset, files))
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants[pos.Filename][pos.Line], d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic (%s): %s", pos.Filename, pos.Line, d.Pass, d.Message)
+		}
+	}
+	for file, byLine := range wants {
+		for line, exps := range byLine {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: expected a diagnostic matching %q, got none", file, line, e.re.String())
+				}
+			}
+		}
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// claim marks the first unmatched expectation whose regexp matches the
+// message and reports whether one existed.
+func claim(exps []*expectation, msg string) bool {
+	for _, e := range exps {
+		if !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts `// want "..."` expectations per source line.
+// Scanning raw lines (rather than the comment AST) keeps the harness
+// independent of how the fixture mixes wants with apcvet markers.
+func parseWants(t *testing.T, filename string) map[int][]*expectation {
+	t.Helper()
+	src, err := os.ReadFile(filename)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[int][]*expectation{}
+	for i, line := range strings.Split(string(src), "\n") {
+		_, rest, ok := strings.Cut(line, "// want ")
+		if !ok {
+			continue
+		}
+		for _, m := range wantRE.FindAllString(rest, -1) {
+			var pat string
+			if m[0] == '`' {
+				pat = m[1 : len(m)-1]
+			} else {
+				var err error
+				if pat, err = strconv.Unquote(m); err != nil {
+					t.Fatalf("%s:%d: bad want string %s: %v", filename, i+1, m, err)
+				}
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", filename, i+1, pat, err)
+			}
+			out[i+1] = append(out[i+1], &expectation{re: re})
+		}
+	}
+	return out
+}
+
+// stdImporter resolves the fixture's standard-library imports through
+// `go list -export`, mirroring the module loader.
+func stdImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
+	t.Helper()
+	seen := map[string]bool{}
+	var paths []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	exports := map[string]string{}
+	if len(paths) > 0 {
+		sort.Strings(paths)
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, paths...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("go list %v: %v\n%s", paths, err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("go list decode: %v", err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (fixtures may import the standard library only)", path)
+		}
+		return os.Open(f)
+	})
+}

@@ -1,0 +1,91 @@
+// Package det is the determinism-pass fixture: ambient
+// nondeterminism entry points (wall clock, global RNG, environment,
+// order-dependent map iteration) must be flagged; order-independent
+// map loops, seeded constructors and audited sites must stay clean.
+package det
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `call to time\.Now: wall-clock read`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time\.Since`
+}
+
+func globalRand() int {
+	return rand.IntN(10) // want `call to global math/rand/v2\.IntN`
+}
+
+func seededConstructor(seed uint64) *rand.Rand {
+	// Constructors are exempt here; the seededrng pass vets their seeds.
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+}
+
+func envRead() string {
+	return os.Getenv("HOME") // want `call to os\.Getenv: environment read`
+}
+
+func orderedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appends iteration-dependent values to a slice that outlives the loop`
+	}
+	return out
+}
+
+func orderedFormat(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `formats iteration-dependent text with fmt\.Printf`
+	}
+}
+
+func orderedError(m map[string]int) error {
+	for k, v := range m {
+		if v < 0 {
+			return fmt.Errorf("bad key %s", k) // want `formats iteration-dependent text with fmt\.Errorf`
+		}
+	}
+	return nil
+}
+
+func orderedReturn(m map[string]int) string {
+	for k := range m {
+		return k // want `returns a value derived from the iteration variables`
+	}
+	return ""
+}
+
+func orderedConcat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want `concatenates iteration-dependent text onto an outer string`
+	}
+	return out
+}
+
+// orderIndependent loops — sums, set building, counting — are clean.
+func orderIndependent(m map[string]int) (int, map[string]bool) {
+	total := 0
+	set := map[string]bool{}
+	for k, v := range m {
+		total += v
+		set[k] = true
+	}
+	return total, set
+}
+
+func auditedOrder(m map[string]int) []string {
+	var keys []string
+	//apcvet:ordered the caller sorts keys before anything observes them
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,79 @@
+// Package pool is the poolsafe-pass fixture: use-after-release of a
+// pooled record must be flagged, the copy-fields-first discipline and
+// terminating-branch puts must stay clean, and record callbacks may
+// capture only their owner record.
+package pool
+
+//apcvet:pooled
+type item struct {
+	id     int
+	next   *item
+	doneFn func()
+}
+
+type freelist struct {
+	free []*item
+	hits int
+}
+
+//apcvet:poolput
+func (p *freelist) put(it *item) {
+	p.free = append(p.free, it)
+}
+
+func (p *freelist) useAfterPut(it *item) int {
+	p.put(it)
+	return it.id // want `it used after being released to the pool`
+}
+
+func (p *freelist) copyFirst(it *item) int {
+	id := it.id
+	p.put(it)
+	return id // fields copied before the put: clean
+}
+
+func (p *freelist) terminatingBranch(it *item, done bool) int {
+	if done {
+		p.put(it)
+		return 0
+	}
+	return it.id // clean: the put's branch cannot fall through
+}
+
+func (p *freelist) rebind(it *item) {
+	for {
+		next := it.next
+		p.put(it)
+		if next == nil {
+			return
+		}
+		it = next // clean: rebound to a different record
+	}
+}
+
+func (p *freelist) audited(it *item, impossible bool) int {
+	p.put(it)
+	if impossible {
+		return it.id //apcvet:poolok defensive backstop; callers hold the record's last reference
+	}
+	return 0
+}
+
+func (p *freelist) lateClosure(it *item) func() int {
+	p.put(it)
+	return func() int { return it.id } // want `it used after being released to the pool`
+}
+
+func (p *freelist) bindCapturesOutside(it *item) {
+	it.doneFn = func() { p.hits = it.id } // want `captures "p"`
+}
+
+func (p *freelist) bindOwnerOnly(it *item) {
+	it.doneFn = func() { it.id++ } // captures only the record: clean
+}
+
+func newItem(p *freelist) *item {
+	return &item{
+		doneFn: func() { p.hits++ }, // want `callback initialized in a pooled item literal captures "p"`
+	}
+}

@@ -1,0 +1,37 @@
+// Package rng is the seededrng-pass fixture: bare-constant seeds and
+// seeds with no visible root in the seed plumbing must be flagged,
+// sibling streams in one function need distinct salts, and the
+// Fork-from-an-existing-stream pattern stays clean.
+package rng
+
+import "math/rand/v2"
+
+func bare() *rand.Rand {
+	return rand.New(rand.NewPCG(1, 2)) // want `RNG seeded with the bare constant 1` `RNG seeded with the bare constant 2`
+}
+
+func seeded(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b9)) // rooted in the seed plumbing: clean
+}
+
+func unrooted(n uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(n, n+1)) // want `RNG seed n has no visible root` `RNG seed n\+1 has no visible root`
+}
+
+// newStream is a local wrapper: its callers' arguments are seed sites
+// too, because the body reaches a rand constructor.
+func newStream(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xa5a5))
+}
+
+func fleet(seed uint64) []*rand.Rand {
+	return []*rand.Rand{
+		newStream(seed ^ 0x01), // distinct salt: clean
+		newStream(seed ^ 0x02), // distinct salt: clean
+		newStream(seed ^ 0x01), // want `same salt as the site`
+	}
+}
+
+func forked(r *rand.Rand) *rand.Rand {
+	return newStream(r.Uint64()) // derived from an existing stream (Fork): clean
+}

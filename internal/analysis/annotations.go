@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //apcvet: annotation grammar (DESIGN.md §12). Every marker is a
+// line comment whose text starts exactly with "apcvet:":
+//
+//	//apcvet:noalloc
+//	    On a function declaration (doc comment or the line directly
+//	    above): the function is a steady-state hot path; the noalloc
+//	    pass checks its body and every call into it from other
+//	    annotated functions.
+//
+//	//apcvet:pooled
+//	    On a type declaration: values of this type are free-listed and
+//	    recycled; the poolsafe pass enforces the release discipline on
+//	    them.
+//
+//	//apcvet:poolput
+//	    On a function declaration: calling it returns its
+//	    pointer-to-pooled parameter(s) to the free list; the argument
+//	    must not be touched afterwards in the calling function.
+//
+//	//apcvet:ordered <justification>
+//	    Site suppression for the determinism pass's map-iteration
+//	    check: this range is order-independent (or ordering is
+//	    restored downstream); say why.
+//
+//	//apcvet:alloc <justification>
+//	    Site suppression for the noalloc pass: an audited allocation
+//	    (pool-miss warm-up branch, error path); say why.
+//
+//	//apcvet:poolok <justification>
+//	    Site suppression for the poolsafe pass: an audited
+//	    use-after-release report that the free-list contract permits;
+//	    say why.
+//
+// Site suppressions attach to the line they trail, or — when the
+// comment stands alone — to the line below. Unknown verbs and missing
+// justifications are themselves diagnostics (pass "annotation"), so a
+// typo can't silently disable a check.
+
+// Verbs that mark declarations (no justification argument).
+const (
+	VerbNoAlloc = "noalloc"
+	VerbPooled  = "pooled"
+	VerbPoolPut = "poolput"
+)
+
+// Verbs that suppress one diagnostic site (justification required).
+const (
+	VerbOrdered = "ordered"
+	VerbAllocOK = "alloc"
+	VerbPoolOK  = "poolok"
+)
+
+// AnnErr is a malformed annotation comment.
+type AnnErr struct {
+	Pos token.Pos
+	Msg string
+}
+
+// marker is one parsed //apcvet: comment.
+type marker struct {
+	verb string
+	pos  token.Pos
+	line int
+}
+
+// Annotations is one package's parsed //apcvet: markers.
+type Annotations struct {
+	// NoAlloc / PoolPut hold FuncKeys of annotated declarations.
+	NoAlloc map[string]bool
+	PoolPut map[string]bool
+	// Pooled holds "pkgpath.TypeName" for free-listed record types.
+	Pooled map[string]bool
+	// suppress maps file -> line -> verbs covering that line.
+	suppress map[string]map[int]map[string]bool
+	// Errs are grammar violations found while parsing.
+	Errs []AnnErr
+}
+
+// Facts merges every loaded package's annotations so passes can
+// resolve cross-package calls against the callee's own markers.
+type Facts struct {
+	NoAlloc map[string]bool
+	PoolPut map[string]bool
+	Pooled  map[string]bool
+	// noallocPkgs is the set of package paths containing at least one
+	// //apcvet:noalloc — the "annotation domain". Calls from a hot
+	// path into a domain package must hit an annotated function; calls
+	// into packages nobody has audited yet are out of scope (the
+	// runtime alloc gate still covers them).
+	noallocPkgs map[string]bool
+}
+
+// BuildFacts merges package annotation tables.
+func BuildFacts(pkgs []*Package) *Facts {
+	f := &Facts{
+		NoAlloc:     map[string]bool{},
+		PoolPut:     map[string]bool{},
+		Pooled:      map[string]bool{},
+		noallocPkgs: map[string]bool{},
+	}
+	for _, p := range pkgs {
+		for k := range p.Ann.NoAlloc {
+			f.NoAlloc[k] = true
+			f.noallocPkgs[p.Path] = true
+		}
+		for k := range p.Ann.PoolPut {
+			f.PoolPut[k] = true
+		}
+		for k := range p.Ann.Pooled {
+			f.Pooled[k] = true
+		}
+	}
+	return f
+}
+
+// InNoAllocDomain reports whether pkgPath has opted into the noalloc
+// call discipline (it declares at least one annotated function).
+func (f *Facts) InNoAllocDomain(pkgPath string) bool { return f.noallocPkgs[pkgPath] }
+
+// ParseAnnotations scans a package's files for //apcvet: markers.
+func ParseAnnotations(fset *token.FileSet, pkgPath string, files []*ast.File) *Annotations {
+	ann := &Annotations{
+		NoAlloc:  map[string]bool{},
+		PoolPut:  map[string]bool{},
+		Pooled:   map[string]bool{},
+		suppress: map[string]map[int]map[string]bool{},
+	}
+	for _, file := range files {
+		ann.parseFile(fset, pkgPath, file)
+	}
+	return ann
+}
+
+func (ann *Annotations) parseFile(fset *token.FileSet, pkgPath string, file *ast.File) {
+	// First index every marker comment; declaration attachment and
+	// site suppression both consume the index.
+	var declMarks []marker
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//apcvet:")
+			if !ok {
+				continue
+			}
+			verb, why, _ := strings.Cut(text, " ")
+			why = strings.TrimSpace(why)
+			p := fset.Position(c.Pos())
+			switch verb {
+			case VerbNoAlloc, VerbPooled, VerbPoolPut:
+				if why != "" {
+					ann.Errs = append(ann.Errs, AnnErr{c.Pos(),
+						"apcvet:" + verb + " takes no argument (suppression verbs take a justification; markers do not)"})
+				}
+				declMarks = append(declMarks, marker{verb: verb, pos: c.Pos(), line: p.Line})
+			case VerbOrdered, VerbAllocOK, VerbPoolOK:
+				if why == "" {
+					ann.Errs = append(ann.Errs, AnnErr{c.Pos(),
+						"apcvet:" + verb + " needs a justification: //apcvet:" + verb + " <why>"})
+				}
+				ann.suppressLine(p.Filename, p.Line, verb)
+				// A standalone marker line also covers the next line.
+				ann.suppressLine(p.Filename, p.Line+1, verb)
+			default:
+				ann.Errs = append(ann.Errs, AnnErr{c.Pos(),
+					"unknown apcvet annotation verb " + strings.TrimSpace(verb) + " (known: noalloc, pooled, poolput, ordered, alloc, poolok)"})
+			}
+		}
+	}
+	if len(declMarks) == 0 {
+		return
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			for _, m := range attachedTo(fset, declMarks, d.Doc, d.Pos()) {
+				switch m.verb {
+				case VerbNoAlloc:
+					ann.NoAlloc[declKey(pkgPath, d)] = true
+				case VerbPoolPut:
+					ann.PoolPut[declKey(pkgPath, d)] = true
+				case VerbPooled:
+					ann.Errs = append(ann.Errs, AnnErr{m.pos, "apcvet:pooled marks a type, not a function"})
+				}
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(d.Specs) == 1 {
+					doc = d.Doc
+				}
+				for _, m := range attachedTo(fset, declMarks, doc, d.Pos()) {
+					switch m.verb {
+					case VerbPooled:
+						ann.Pooled[pkgPath+"."+ts.Name.Name] = true
+					case VerbNoAlloc, VerbPoolPut:
+						ann.Errs = append(ann.Errs, AnnErr{m.pos, "apcvet:" + m.verb + " marks a function, not a type"})
+					}
+				}
+			}
+		}
+	}
+}
+
+// attachedTo returns the declaration markers belonging to a decl: any
+// marker inside its doc comment group, or on the single line directly
+// above the declaration start.
+func attachedTo(fset *token.FileSet, marks []marker, doc *ast.CommentGroup, declPos token.Pos) []marker {
+	p := fset.Position(declPos)
+	var out []marker
+	for _, m := range marks {
+		inDoc := doc != nil && m.pos >= doc.Pos() && m.pos <= doc.End()
+		if inDoc || (fset.Position(m.pos).Filename == p.Filename && m.line == p.Line-1) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (a *Annotations) suppressLine(file string, line int, verb string) {
+	byLine := a.suppress[file]
+	if byLine == nil {
+		byLine = map[int]map[string]bool{}
+		a.suppress[file] = byLine
+	}
+	verbs := byLine[line]
+	if verbs == nil {
+		verbs = map[string]bool{}
+		byLine[line] = verbs
+	}
+	verbs[verb] = true
+}
+
+func (a *Annotations) suppressed(verb string, pos token.Position) bool {
+	return a.suppress[pos.Filename][pos.Line][verb]
+}

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism rejects the ambient-nondeterminism entry points in
+// non-test files of internal packages — the simulation layers whose
+// whole contract is "bit-identical output for identical inputs,
+// serial or parallel":
+//
+//   - time.Now / time.Since / time.Until: wall-clock reads. Simulation
+//     time is sim.Time; wall time differs per run and per host.
+//   - the global math/rand and math/rand/v2 functions (rand.IntN,
+//     rand.Float64, rand.Shuffle, ...): they draw from the
+//     process-global, randomly-seeded source. Constructors (rand.New,
+//     NewPCG, NewSource, ...) are allowed — the seededrng pass vets
+//     their seeds.
+//   - os.Getenv / os.LookupEnv / os.Environ: environment reads feeding
+//     sim state make results depend on the shell that launched the
+//     run. Configuration enters through Options and scenario files.
+//   - `for range` over a map whose body observably depends on
+//     iteration order: appends to a slice that outlives the loop,
+//     formats or writes text, or returns a value derived from the
+//     iteration variables (the "first offending key wins" error
+//     pattern). Order-independent map loops (sums, set building,
+//     deletes) are fine. Audited sites suppress with
+//     //apcvet:ordered <why>.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global-RNG, env reads, and order-dependent map iteration in internal packages",
+	Run:  runDeterminism,
+}
+
+// forbiddenCalls maps package path -> function name -> the reason the
+// call is nondeterministic.
+var forbiddenCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read; simulation time is engine time",
+		"Since": "wall-clock read; simulation time is engine time",
+		"Until": "wall-clock read; simulation time is engine time",
+	},
+	"os": {
+		"Getenv":    "environment read feeding sim state; configuration enters through Options/scenario files",
+		"LookupEnv": "environment read feeding sim state; configuration enters through Options/scenario files",
+		"Environ":   "environment read feeding sim state; configuration enters through Options/scenario files",
+	},
+}
+
+// randConstructors are the math/rand(/v2) package-level functions that
+// do NOT draw from the global source; everything else there does.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !isInternalPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkForbiddenCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	if why, ok := forbiddenCalls[path][name]; ok {
+		pass.Reportf(call.Pos(), "call to %s.%s: %s", path, name, why)
+		return
+	}
+	if (path == "math/rand" || path == "math/rand/v2") && fn.Signature().Recv() == nil && !randConstructors[name] {
+		pass.Reportf(call.Pos(), "call to global %s.%s: draws from the process-global source; use a seeded *rand.Rand (stats.NewRNG)", path, name)
+	}
+}
+
+// checkMapRange flags order-dependent map iteration.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if pass.Suppressed(VerbOrdered, rng.Pos()) {
+		return
+	}
+	// The range variables: a body effect is order-dependent only when
+	// it can distinguish iterations, which in practice means it
+	// mentions the key/value vars (directly or through values computed
+	// from them — we approximate with direct mention, which covers the
+	// real sites and keeps pure "count the entries" loops clean).
+	iterVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				iterVars[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				iterVars[obj] = true
+			}
+		}
+	}
+	mentionsIter := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && iterVars[pass.Info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its body runs later, under its own rules
+		case *ast.AssignStmt:
+			if reason := orderedAssign(pass, rng, n, mentionsIter); reason != "" {
+				reportOrdered(pass, n.Pos(), reason)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && orderedCall(pass, call, mentionsIter) != "" {
+					continue // the call inspection reports this one
+				}
+				if mentionsIter(res) {
+					reportOrdered(pass, n.Pos(), "returns a value derived from the iteration variables — which key wins depends on map order")
+					break
+				}
+			}
+		case *ast.CallExpr:
+			if reason := orderedCall(pass, n, mentionsIter); reason != "" {
+				reportOrdered(pass, n.Pos(), reason)
+			}
+		}
+		return true
+	})
+}
+
+func reportOrdered(pass *Pass, pos token.Pos, reason string) {
+	if pass.Suppressed(VerbOrdered, pos) {
+		return
+	}
+	pass.Reportf(pos, "map iteration order leaks into output: %s (sort the keys, or audit and annotate //apcvet:ordered <why>)", reason)
+}
+
+// orderedAssign flags `s = append(s, ...iter...)` when s outlives the
+// loop, and string concatenation `out += f(iter)` on an outer var.
+func orderedAssign(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt, mentionsIter func(ast.Expr) bool) string {
+	for i, rhs := range as.Rhs {
+		if call, ok := rhs.(*ast.CallExpr); ok && builtinName(pass.Info, call) == "append" {
+			if appendTargetOutlives(pass, rng, call) && anyMentions(call.Args[1:], mentionsIter) {
+				return "appends iteration-dependent values to a slice that outlives the loop"
+			}
+		}
+		if as.Tok == token.ADD_ASSIGN && i < len(as.Lhs) {
+			if outerVar(pass, rng, as.Lhs[i]) && mentionsIter(rhs) && isStringType(pass, as.Lhs[i]) {
+				return "concatenates iteration-dependent text onto an outer string"
+			}
+		}
+	}
+	return ""
+}
+
+func anyMentions(exprs []ast.Expr, mentionsIter func(ast.Expr) bool) bool {
+	for _, e := range exprs {
+		if mentionsIter(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func isStringType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// appendTargetOutlives reports whether append's first argument refers
+// to storage declared outside the range statement (so the appended
+// order survives the loop).
+func appendTargetOutlives(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	return outerVar(pass, rng, call.Args[0])
+}
+
+// outerVar reports whether e is rooted at a variable declared outside
+// the range statement (including fields reached through one).
+func outerVar(pass *Pass, rng *ast.RangeStmt, e ast.Expr) bool {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+			continue
+		case *ast.IndexExpr:
+			e = v.X
+			continue
+		case *ast.Ident:
+			obj := pass.Info.Uses[v]
+			if obj == nil {
+				obj = pass.Info.Defs[v]
+			}
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+		default:
+			return false
+		}
+	}
+}
+
+// orderedCall flags text-building and text-writing calls: the fmt
+// formatting family, errors.New, and Write* methods on
+// strings.Builder / bytes.Buffer — each renders the current iteration
+// into an order-sensitive stream.
+func orderedCall(pass *Pass, call *ast.CallExpr, mentionsIter func(ast.Expr) bool) string {
+	if !anyMentions(call.Args, mentionsIter) {
+		return ""
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		if strings.HasPrefix(fn.Name(), "Sprint") || strings.HasPrefix(fn.Name(), "Fprint") ||
+			strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Append") || fn.Name() == "Errorf" {
+			return "formats iteration-dependent text with fmt." + fn.Name()
+		}
+	case "errors":
+		if fn.Name() == "New" {
+			return "builds error text from the iteration variables"
+		}
+	case "strings", "bytes":
+		if recv := fn.Signature().Recv(); recv != nil && strings.HasPrefix(fn.Name(), "Write") {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && (named.Obj().Name() == "Builder" || named.Obj().Name() == "Buffer") {
+				return "writes iteration-dependent text into a " + named.Obj().Name()
+			}
+		}
+	}
+	return ""
+}

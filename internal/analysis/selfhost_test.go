@@ -1,0 +1,178 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"sync"
+	"testing"
+
+	"agilepkgc/internal/analysis"
+)
+
+// loadOnce shares one module load (go list -export over ./...) between
+// the self-hosting test and the facts-coverage test.
+var loadOnce struct {
+	sync.Once
+	pkgs []*analysis.Package
+	err  error
+}
+
+func modulePkgs(t *testing.T) []*analysis.Package {
+	t.Helper()
+	loadOnce.Do(func() {
+		loadOnce.pkgs, loadOnce.err = analysis.LoadModule("../..", "./...")
+	})
+	if loadOnce.err != nil {
+		t.Fatalf("loading module packages: %v", loadOnce.err)
+	}
+	return loadOnce.pkgs
+}
+
+// TestSelfHost is the suite's keystone: the module must be clean under
+// all four passes. A diagnostic here means either the code broke an
+// invariant or a pass grew a false positive — both block CI.
+func TestSelfHost(t *testing.T) {
+	pkgs := modulePkgs(t)
+	if len(pkgs) == 0 {
+		t.Fatal("module load returned no packages")
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		t.Errorf("%s: [%s] %s", pos, d.Pass, d.Message)
+	}
+}
+
+// TestHotPathFactsCoverage pins the annotation rollout: the functions
+// the steady-state alloc gates exercise (fleet routing, fault
+// recovery, graph joins, replay decode, pooled sources) must stay
+// marked //apcvet:noalloc, and the pool lifecycle entry points must
+// stay marked pooled/poolput. Deleting an annotation silently shrinks
+// what apcvet checks; this test makes that loud.
+func TestHotPathFactsCoverage(t *testing.T) {
+	facts := analysis.BuildFacts(modulePkgs(t))
+	noalloc := []string{
+		"agilepkgc/internal/cluster.(Fleet).route",
+		"agilepkgc/internal/cluster.(Fleet).pick",
+		"agilepkgc/internal/cluster.(Fleet).putRouted",
+		"agilepkgc/internal/cluster.(Fleet).onComplete",
+		"agilepkgc/internal/cluster.(Fleet).recomputeCaps",
+		"agilepkgc/internal/cluster.(faultState).route",
+		"agilepkgc/internal/cluster.(faultState).complete",
+		"agilepkgc/internal/cluster.(Graph).resolve",
+		"agilepkgc/internal/cluster.(Graph).putJoin",
+		"agilepkgc/internal/workload.(Generator).emit",
+		"agilepkgc/internal/workload.(PushSource).Emit",
+		"agilepkgc/internal/workload/replay.(Reader).Next",
+		"agilepkgc/internal/workload/replay.(Reader).decode",
+		"agilepkgc/internal/workload/replay.(Replay).emit",
+	}
+	for _, key := range noalloc {
+		if !facts.NoAlloc[key] {
+			t.Errorf("hot-path function %s is not annotated //apcvet:noalloc", key)
+		}
+	}
+	pooled := []string{
+		"agilepkgc/internal/cluster.routedReq",
+		"agilepkgc/internal/cluster.logicalReq",
+		"agilepkgc/internal/cluster.attempt",
+		"agilepkgc/internal/cluster.joinReq",
+		"agilepkgc/internal/workload.Request",
+	}
+	for _, key := range pooled {
+		if !facts.Pooled[key] {
+			t.Errorf("free-listed record type %s is not annotated //apcvet:pooled", key)
+		}
+	}
+	poolput := []string{
+		"agilepkgc/internal/cluster.(Fleet).putRouted",
+		"agilepkgc/internal/cluster.(faultState).freeLogical",
+		"agilepkgc/internal/cluster.(faultState).freeAttempt",
+		"agilepkgc/internal/cluster.(Graph).putJoin",
+		"agilepkgc/internal/workload.(Generator).Release",
+		"agilepkgc/internal/workload.(PushSource).Release",
+		"agilepkgc/internal/workload/replay.(Replay).Release",
+	}
+	for _, key := range poolput {
+		if !facts.PoolPut[key] {
+			t.Errorf("pool release point %s is not annotated //apcvet:poolput", key)
+		}
+	}
+	for _, pkg := range []string{
+		"agilepkgc/internal/cluster",
+		"agilepkgc/internal/workload",
+		"agilepkgc/internal/workload/replay",
+	} {
+		if !facts.InNoAllocDomain(pkg) {
+			t.Errorf("package %s dropped out of the noalloc annotation domain", pkg)
+		}
+	}
+}
+
+// TestAnnotationGrammar locks the marker grammar errors: unknown
+// verbs, markers with arguments, suppressions without justifications,
+// and verb/declaration-kind mismatches all surface as AnnErrs (which
+// Run reports under the "annotation" pseudo-pass).
+func TestAnnotationGrammar(t *testing.T) {
+	const src = `package p
+
+//apcvet:bogus something
+func a() {}
+
+//apcvet:noalloc because it is hot
+func b() {}
+
+func c(m map[int]int) {
+	//apcvet:ordered
+	for range m {
+	}
+}
+
+//apcvet:pooled
+func d() {}
+
+//apcvet:noalloc
+type q struct{}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "grammar.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := analysis.ParseAnnotations(fset, "example.com/p", []*ast.File{file})
+	wants := []string{
+		"unknown apcvet annotation verb bogus",
+		"apcvet:noalloc takes no argument",
+		"apcvet:ordered needs a justification",
+		"apcvet:pooled marks a type, not a function",
+		"apcvet:noalloc marks a function, not a type",
+	}
+	for _, want := range wants {
+		found := false
+		for _, e := range ann.Errs {
+			if strings.Contains(e.Msg, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected a grammar error containing %q; got %v", want, msgs(ann.Errs))
+		}
+	}
+	if len(ann.Errs) != len(wants) {
+		t.Errorf("expected exactly %d grammar errors, got %d: %v", len(wants), len(ann.Errs), msgs(ann.Errs))
+	}
+}
+
+func msgs(errs []analysis.AnnErr) []string {
+	var out []string
+	for _, e := range errs {
+		out = append(out, e.Msg)
+	}
+	return out
+}

@@ -684,12 +684,16 @@ func powerAwareCap(mc MemberConfig, spec workload.Spec, target sim.Duration, tor
 // tracked incrementally on the member (±1 at every route, delivery drop
 // and completion), which TestMemberLoadTracksServer pins against the
 // server's own counter.
+//
+//apcvet:noalloc
 func (f *Fleet) load(m *member) int { return m.load }
 
 // routedReq is the pooled per-arrival record of the fault-free path: its
 // two callbacks (ToR transit delivery, completion) are created once when
 // the record is first allocated and reused for every request it later
 // carries, so steady-state routing schedules only preallocated closures.
+//
+//apcvet:pooled
 type routedReq struct {
 	f   *Fleet
 	m   *member
@@ -701,13 +705,16 @@ type routedReq struct {
 
 // newRouted takes a record off the free list (or builds one, creating
 // its callbacks) and binds it to this arrival's assignment.
+//
+//apcvet:noalloc
 func (f *Fleet) newRouted(m *member, req *workload.Request) *routedReq {
 	var r *routedReq
 	if n := len(f.freeRouted); n > 0 {
 		r = f.freeRouted[n-1]
 		f.freeRouted = f.freeRouted[:n-1]
 	} else {
-		r = &routedReq{f: f}
+		r = &routedReq{f: f} //apcvet:alloc pool miss: the record and its two callbacks amortize over every request the record later carries
+		//apcvet:alloc created once per record at pool miss; reused for every later request
 		r.doneFn = func() {
 			f, m, req := r.f, r.m, r.req
 			m.load--
@@ -715,14 +722,14 @@ func (f *Fleet) newRouted(m *member, req *workload.Request) *routedReq {
 			if f.ctrl != nil {
 				f.onComplete(m, req)
 			}
-			r.m, r.req = nil, nil
-			f.freeRouted = append(f.freeRouted, r)
+			f.putRouted(r)
 			id, arr, conn := req.ID, req.Arrival, req.Conn
 			f.gen.Release(req)
 			if f.onResolve != nil {
 				f.onResolve(id, arr, conn, true)
 			}
 		}
+		//apcvet:alloc created once per record at pool miss; reused for every later request
 		r.transitFn = func() {
 			r.m.transit--
 			r.m.srv.Submit(r.req, r.doneFn)
@@ -732,11 +739,25 @@ func (f *Fleet) newRouted(m *member, req *workload.Request) *routedReq {
 	return r
 }
 
+// putRouted unbinds a completed record and returns it to the free
+// list; the caller must have copied any request fields it still needs
+// before calling (the pool may reissue the record at the very next
+// arrival).
+//
+//apcvet:poolput
+//apcvet:noalloc
+func (f *Fleet) putRouted(r *routedReq) {
+	r.m, r.req = nil, nil
+	f.freeRouted = append(f.freeRouted, r)
+}
+
 // route assigns one arrival to a member according to the policy and
 // delivers it — immediately for local-rack members, one ToR hop later
 // for remote racks. With a controller attached the completion is
 // observed (drain-to-empty detection, feedback latency window) and the
 // drain decision runs after the assignment, on the post-routing state.
+//
+//apcvet:noalloc
 func (f *Fleet) route(req *workload.Request) {
 	if f.flt != nil {
 		f.flt.route(req)
@@ -766,6 +787,8 @@ func (f *Fleet) route(req *workload.Request) {
 // in-flight state. Members the controller is draining or holding are
 // ineligible (eligible is vacuously true for every member when no
 // controller is attached).
+//
+//apcvet:noalloc
 func (f *Fleet) pick() *member {
 	switch f.cfg.Policy {
 	case LeastLoaded:
@@ -803,6 +826,8 @@ func (f *Fleet) pick() *member {
 // so the policy degrades to least_loaded like power_aware does. Only
 // eligible members count — a rack the controller is draining has none,
 // so it neither attracts traffic nor offers headroom.
+//
+//apcvet:noalloc
 func (f *Fleet) rackPick() *member {
 	chosen, chosenActive := -1, false
 	for r := range f.rackCnt {
@@ -836,6 +861,8 @@ func (f *Fleet) rackPick() *member {
 // in-flight-or-in-transit requests, lowest index on ties. At least one
 // member is always eligible: the drain controller never drains server 0
 // (nor rack 0), so the overload fallback cannot violate a hold.
+//
+//apcvet:noalloc
 func (f *Fleet) leastLoaded() *member {
 	if root := f.tree.root(); root.eligCnt > 0 {
 		return f.members[root.minIdx]

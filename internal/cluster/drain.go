@@ -53,6 +53,8 @@ const (
 // eligible reports whether the balancer may route to the member:
 // active (not draining or held) and reachable (not crashed, not behind
 // a partitioned ToR — fields that stay false without a fault layer).
+//
+//apcvet:noalloc
 func (m *member) eligible() bool { return m.state == stActive && !m.down && !m.cut }
 
 // maxFeedbackCapFactor bounds the feedback loop's additive increase: a
@@ -130,6 +132,8 @@ func (f *Fleet) initController() {
 // (the same end-to-end value the server's own histogram records), and
 // the drain controller promotes a draining member that just emptied
 // into the held state.
+//
+//apcvet:noalloc
 func (f *Fleet) onComplete(m *member, req *workload.Request) {
 	if m.win != nil {
 		e2e := f.eng.Now() - req.Arrival + m.netLat
@@ -150,6 +154,8 @@ func (f *Fleet) onComplete(m *member, req *workload.Request) {
 // headroom is gone and nothing drains. Scanning from the top and
 // requiring an active member below means server 0 (and rack 0) is
 // never drained and the fleet always keeps a routable member.
+//
+//apcvet:noalloc
 func (f *Fleet) maybeDrain() {
 	if f.cfg.Policy == RackPowerAware && f.maybeDrainWholeRack() {
 		return
@@ -164,6 +170,8 @@ func (f *Fleet) maybeDrain() {
 // and always from the top — the mirror image of how the packer grows it.
 // Both the candidate and the headroom sum come from the segment tree
 // (tree.go), turning the per-arrival scan into two O(log n) queries.
+//
+//apcvet:noalloc
 func (f *Fleet) maybeDrainFrontier() {
 	i := f.tree.query(1, len(f.members)).maxEligIdx
 	if i < 0 {
@@ -183,6 +191,8 @@ func (f *Fleet) maybeDrainFrontier() {
 // as one. It reports whether it drained a rack. Racks already mid-drain
 // (any member draining or held) are skipped — their members re-activate
 // individually as their holds expire.
+//
+//apcvet:noalloc
 func (f *Fleet) maybeDrainWholeRack() bool {
 	for r := len(f.byRack) - 1; r > 0; r-- {
 		rack := f.byRack[r]
@@ -205,6 +215,8 @@ func (f *Fleet) maybeDrainWholeRack() bool {
 
 // drainMember moves an active member into the draining state; a member
 // that is already empty holds immediately.
+//
+//apcvet:noalloc
 func (f *Fleet) drainMember(m *member) {
 	m.state = stDraining
 	f.touch(m)
@@ -223,6 +235,8 @@ func (f *Fleet) drainMember(m *member) {
 // earlier hold's timer (a stale event's fire time no longer equals
 // holdStart + hold; if the re-hold started at the very same instant the
 // two expiries coincide and both are correct).
+//
+//apcvet:noalloc
 func (f *Fleet) holdMember(m *member) {
 	m.state = stHeld
 	m.drains++
@@ -251,6 +265,8 @@ func (f *Fleet) armFeedback() {
 // A window with no completions carries no signal and leaves the cap
 // unchanged. Members are updated in index order and the arithmetic is
 // pure integers, so the loop is as deterministic as the router.
+//
+//apcvet:noalloc
 func (f *Fleet) recomputeCaps() {
 	for _, m := range f.members {
 		if m.win.Count() == 0 {

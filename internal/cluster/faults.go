@@ -103,14 +103,19 @@ func (fc FaultConfig) Enabled() bool {
 // validate rejects incoherent fault configurations before they reach
 // the engine.
 func (fc FaultConfig) validate(topo Topology) error {
-	for name, d := range map[string]sim.Duration{
-		"MTBF": fc.MTBF, "MTTR": fc.MTTR,
-		"BrownoutMTBF": fc.BrownoutMTBF, "BrownoutDuration": fc.BrownoutDuration,
-		"TorPartitionMTBF": fc.TorPartitionMTBF, "TorPartitionDuration": fc.TorPartitionDuration,
-		"RequestTimeout": fc.RequestTimeout, "HedgeDelay": fc.HedgeDelay,
+	// Declared order, not a map walk, so the first offending field
+	// reported is the same on every run.
+	for _, kv := range []struct {
+		name string
+		d    sim.Duration
+	}{
+		{"MTBF", fc.MTBF}, {"MTTR", fc.MTTR},
+		{"BrownoutMTBF", fc.BrownoutMTBF}, {"BrownoutDuration", fc.BrownoutDuration},
+		{"TorPartitionMTBF", fc.TorPartitionMTBF}, {"TorPartitionDuration", fc.TorPartitionDuration},
+		{"RequestTimeout", fc.RequestTimeout}, {"HedgeDelay", fc.HedgeDelay},
 	} {
-		if d < 0 {
-			return fmt.Errorf("cluster: negative Faults.%s", name)
+		if kv.d < 0 {
+			return fmt.Errorf("cluster: negative Faults.%s", kv.name)
 		}
 	}
 	if fc.MaxRetries < 0 {
@@ -236,6 +241,8 @@ func (f *Fleet) initFaults(seed uint64) {
 // alive reports whether the balancer can reach the member at all:
 // neither crashed nor behind a partitioned ToR. Distinct from eligible,
 // which additionally excludes members the drain controller is resting.
+//
+//apcvet:noalloc
 func (m *member) alive() bool { return !m.down && !m.cut }
 
 // armCrash schedules the member's next crash.

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"agilepkgc/internal/server"
@@ -425,5 +426,25 @@ func TestStaleHoldExpiryDiscarded(t *testing.T) {
 	fl.eng.Run(fl.eng.Now() + hold/2) // second expiry fires in here
 	if m.state != stActive {
 		t.Error("the member's own hold expiry never re-activated it")
+	}
+}
+
+// TestFaultValidateReportsFirstDeclaredField locks the validation
+// error's determinism: with several negative knobs, the one reported
+// is the first in FaultConfig's declared field order on every run (the
+// loop iterates a slice, not a map — the apcvet determinism pass
+// rejects error text born from map iteration).
+func TestFaultValidateReportsFirstDeclaredField(t *testing.T) {
+	fc := FaultConfig{
+		MTBF:             -sim.Second,
+		TorPartitionMTBF: -sim.Second,
+		HedgeDelay:       -sim.Second,
+	}
+	err := fc.validate(Topology{Racks: 2, ServersPerRack: 2})
+	if err == nil {
+		t.Fatal("negative fault durations must not validate")
+	}
+	if want := "negative Faults.MTBF"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("validate reported %q; want the first declared field (%q)", err, want)
 	}
 }

@@ -188,6 +188,8 @@ func (cfg GraphConfig) validate() error {
 // of the subtree failed, and — at the root — the client arrival the
 // end-to-end latency is measured from. Records are pooled
 // (Graph.freeJoin) so steady-state joining allocates nothing.
+//
+//apcvet:pooled
 type joinReq struct {
 	parent  *joinReq
 	arrival sim.Time
@@ -408,6 +410,8 @@ func (g *Graph) Tiers() int { return len(g.tiers) }
 func (g *Graph) TierFleet(i int) *Fleet { return g.tiers[i].fl }
 
 // newJoin takes a join record off the pool or allocates one.
+//
+//apcvet:noalloc
 func (g *Graph) newJoin() *joinReq {
 	if n := len(g.freeJoin); n > 0 {
 		jr := g.freeJoin[n-1]
@@ -415,7 +419,16 @@ func (g *Graph) newJoin() *joinReq {
 		*jr = joinReq{}
 		return jr
 	}
-	return new(joinReq)
+	return new(joinReq) //apcvet:alloc pool miss: the record amortizes over every join it later carries
+}
+
+// putJoin returns a closed join record to the pool; the caller must
+// not touch it afterwards (the next newJoin may reissue it).
+//
+//apcvet:poolput
+//apcvet:noalloc
+func (g *Graph) putJoin(jr *joinReq) {
+	g.freeJoin = append(g.freeJoin, jr)
 }
 
 // resolve is the onResolve hook of every tier: one request of tier t
@@ -424,6 +437,8 @@ func (g *Graph) newJoin() *joinReq {
 // children — synchronously, at this engine instant, so downstream
 // arrivals carry zero artificial delay beyond what the target tier's
 // own delivery path (ToR hops, queues) imposes.
+//
+//apcvet:noalloc
 func (g *Graph) resolve(t *gtier, id uint64, arrival sim.Time, conn int, ok bool) {
 	jr := t.pending[id]
 	if jr != nil {
@@ -493,6 +508,8 @@ func (g *Graph) resolve(t *gtier, id uint64, arrival sim.Time, conn int, ok bool
 // the completion up the parent chain; at the root it records the
 // client-observed outcome (success only when every request in the tree
 // succeeded, latency from root arrival to last resolution).
+//
+//apcvet:noalloc
 func (g *Graph) finish(jr *joinReq) {
 	for {
 		parent, failed := jr.parent, jr.failed
@@ -503,10 +520,10 @@ func (g *Graph) finish(jr *joinReq) {
 				g.clientServed++
 				g.clientLat.Add((g.eng.Now() - jr.arrival).Seconds())
 			}
-			g.freeJoin = append(g.freeJoin, jr)
+			g.putJoin(jr)
 			return
 		}
-		g.freeJoin = append(g.freeJoin, jr)
+		g.putJoin(jr)
 		parent.pending--
 		if failed {
 			parent.failed = true

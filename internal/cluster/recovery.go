@@ -53,6 +53,8 @@ const maxTimeoutShift = 20
 // returns to the pool at resolution. Zombie attempts may still point at
 // a recycled record, which is why every late reader guards with at.lost
 // before dereferencing lr.
+//
+//apcvet:pooled
 type logicalReq struct {
 	fs *faultState
 
@@ -86,6 +88,8 @@ type logicalReq struct {
 // req value, valid until the record is freed — in complete for every
 // attempt the server saw, or at transit arrival for copies dropped on
 // the hop.
+//
+//apcvet:pooled
 type attempt struct {
 	fs      *faultState
 	lr      *logicalReq
@@ -100,6 +104,8 @@ type attempt struct {
 
 // newLogical takes a record off the pool (resetting it, keeping its
 // identity-bound callbacks and live backing array) or builds one.
+//
+//apcvet:noalloc
 func (fs *faultState) newLogical() *logicalReq {
 	if n := len(fs.freeLR); n > 0 {
 		lr := fs.freeLR[n-1]
@@ -107,9 +113,9 @@ func (fs *faultState) newLogical() *logicalReq {
 		*lr = logicalReq{fs: lr.fs, live: lr.live[:0], timeoutFn: lr.timeoutFn, hedgeFn: lr.hedgeFn}
 		return lr
 	}
-	lr := &logicalReq{fs: fs}
-	lr.timeoutFn = func() { lr.fs.timeoutFire(lr) }
-	lr.hedgeFn = func() { lr.fs.hedgeFire(lr) }
+	lr := &logicalReq{fs: fs}                       //apcvet:alloc pool miss: record + callbacks amortize over every request the record later carries
+	lr.timeoutFn = func() { lr.fs.timeoutFire(lr) } //apcvet:alloc created once per record at pool miss; reused for every later request
+	lr.hedgeFn = func() { lr.fs.hedgeFire(lr) }     //apcvet:alloc created once per record at pool miss; reused for every later request
 	return lr
 }
 
@@ -117,21 +123,26 @@ func (fs *faultState) newLogical() *logicalReq {
 // cancelled; a caller that still reads lr.done after this returns sees
 // true until some later arrival reuses the record, which cannot happen
 // within the current engine event.
+//
+//apcvet:poolput
+//apcvet:noalloc
 func (fs *faultState) freeLogical(lr *logicalReq) {
 	fs.freeLR = append(fs.freeLR, lr)
 }
 
 // newAttempt binds a pooled (or fresh) attempt record to one copy of lr
 // aimed at m.
+//
+//apcvet:noalloc
 func (fs *faultState) newAttempt(lr *logicalReq, m *member) *attempt {
 	var at *attempt
 	if n := len(fs.freeAT); n > 0 {
 		at = fs.freeAT[n-1]
 		fs.freeAT = fs.freeAT[:n-1]
 	} else {
-		at = &attempt{fs: fs}
-		at.doneFn = func() { at.fs.complete(at) }
-		at.transitFn = func() { at.fs.transitArrive(at) }
+		at = &attempt{fs: fs}                             //apcvet:alloc pool miss: record + callbacks amortize over every request the record later carries
+		at.doneFn = func() { at.fs.complete(at) }         //apcvet:alloc created once per record at pool miss; reused for every later request
+		at.transitFn = func() { at.fs.transitArrive(at) } //apcvet:alloc created once per record at pool miss; reused for every later request
 	}
 	at.lr, at.m, at.lost, at.liveIdx = lr, m, false, -1
 	return at
@@ -140,6 +151,9 @@ func (fs *faultState) newAttempt(lr *logicalReq, m *member) *attempt {
 // freeAttempt recycles an attempt record once nothing can call back
 // into it: after its completion ran, or after its transit delivery was
 // dropped (the one path where completion never fires).
+//
+//apcvet:poolput
+//apcvet:noalloc
 func (fs *faultState) freeAttempt(at *attempt) {
 	at.lr, at.m = nil, nil
 	fs.freeAT = append(fs.freeAT, at)
@@ -149,6 +163,8 @@ func (fs *faultState) freeAttempt(at *attempt) {
 // when the layer is attached. The generator's request is copied into
 // the logical record and released immediately — the fault layer issues
 // its own per-attempt requests.
+//
+//apcvet:noalloc
 func (fs *faultState) route(req *workload.Request) {
 	if fs.shouldShed() {
 		fs.shed++
@@ -178,6 +194,8 @@ func (fs *faultState) route(req *workload.Request) {
 // dispatch submits the next attempt of lr and arms its timeout. The
 // k-th attempt waits RequestTimeout·2^(k−1) — the backoff rides on the
 // timeout itself, since the balancer has nothing else to wait for.
+//
+//apcvet:noalloc
 func (fs *faultState) dispatch(lr *logicalReq) {
 	m := fs.pickLive()
 	if m == nil {
@@ -210,6 +228,8 @@ func (fs *faultState) dispatch(lr *logicalReq) {
 // eligible, otherwise an emergency re-admission of the least-loaded
 // live member — waking a member the drain controller was resting beats
 // failing the request.
+//
+//apcvet:noalloc
 func (fs *faultState) pickLive() *member {
 	if fs.f.tree.root().eligCnt > 0 {
 		return fs.f.pick()
@@ -222,6 +242,8 @@ func (fs *faultState) pickLive() *member {
 // a resting one only when no eligible member exists. Returns nil when
 // every other member is dead or cut — hedging to the same machine is
 // pointless and retrying has nowhere to go.
+//
+//apcvet:noalloc
 func (fs *faultState) pickLiveAvoid(avoid *member) *member {
 	f := fs.f
 	var best *member
@@ -256,6 +278,8 @@ func (fs *faultState) pickLiveAvoid(avoid *member) *member {
 // submitTo sends one copy of lr to m — the fault-layer mirror of
 // Fleet.route's delivery half, plus attempt tracking and the brownout
 // service-time penalty.
+//
+//apcvet:noalloc
 func (fs *faultState) submitTo(lr *logicalReq, m *member) {
 	f := fs.f
 	if f.testOnRoute != nil {
@@ -293,6 +317,8 @@ func (fs *faultState) submitTo(lr *logicalReq, m *member) {
 // that lost their race — or whose member died — while riding the hop
 // are never submitted, so their occupancy claim is released and the
 // record freed here (completion will never fire for them).
+//
+//apcvet:noalloc
 func (fs *faultState) transitArrive(at *attempt) {
 	m := at.m
 	m.transit--
@@ -324,6 +350,8 @@ func (fs *faultState) transitArrive(at *attempt) {
 // hedge race — still feed the drain controller's empty detection (the
 // machine really did finish work) but produce no client-visible
 // response. The first live completion wins the logical request.
+//
+//apcvet:noalloc
 func (fs *faultState) complete(at *attempt) {
 	f, m := fs.f, at.m
 	m.load--
@@ -378,6 +406,8 @@ func (fs *faultState) complete(at *attempt) {
 
 // timeoutFire abandons every outstanding copy of lr — their eventual
 // responses are ignored — and retries or fails it.
+//
+//apcvet:noalloc
 func (fs *faultState) timeoutFire(lr *logicalReq) {
 	if lr.done {
 		return
@@ -397,6 +427,8 @@ func (fs *faultState) timeoutFire(lr *logicalReq) {
 // lose handles one attempt lost to a fault (crash, partition): if a
 // hedged copy is still racing the request rides on it; otherwise the
 // request retries or fails at this instant.
+//
+//apcvet:noalloc
 func (fs *faultState) lose(at *attempt) {
 	lr := at.lr
 	if lr.done {
@@ -418,6 +450,8 @@ func (fs *faultState) lose(at *attempt) {
 // retryOrFail spends one retry credit or resolves the request as
 // failed. m attributes the failure to the member whose attempt died
 // last (nil when no attempt was ever submitted).
+//
+//apcvet:noalloc
 func (fs *faultState) retryOrFail(lr *logicalReq, m *member) {
 	if lr.retriesLeft > 0 {
 		lr.retriesLeft--
@@ -432,6 +466,8 @@ func (fs *faultState) retryOrFail(lr *logicalReq, m *member) {
 // live remains to send it). lr.live is empty on every path here — the
 // callers (timeout, loss, a dispatch that found no member) abandoned or
 // never created the outstanding copies.
+//
+//apcvet:noalloc
 func (fs *faultState) fail(lr *logicalReq, m *member) {
 	lr.done = true
 	lr.timeout.Cancel()
@@ -451,6 +487,8 @@ func (fs *faultState) fail(lr *logicalReq, m *member) {
 // hedgeFire submits the hedged copy: a second attempt to a different
 // live member, racing the first — whichever response arrives first wins
 // in complete, and the loser is abandoned there.
+//
+//apcvet:noalloc
 func (fs *faultState) hedgeFire(lr *logicalReq) {
 	if lr.done || lr.hedged {
 		return
@@ -472,6 +510,8 @@ func (fs *faultState) hedgeFire(lr *logicalReq) {
 // detach removes the attempt from its member's live set (swap-remove;
 // order within the set never matters, loss handling iterates a
 // snapshot).
+//
+//apcvet:noalloc
 func (fs *faultState) detach(at *attempt) {
 	i := at.liveIdx
 	if i < 0 {
@@ -493,6 +533,8 @@ func (fs *faultState) detach(at *attempt) {
 // larger). Shedding is the fault layer's graceful-degradation valve —
 // without it a long partition turns into unbounded queueing and every
 // admitted request times out anyway.
+//
+//apcvet:noalloc
 func (fs *faultState) shouldShed() bool {
 	f := fs.f
 	if f.aliveCnt == 0 {

@@ -42,6 +42,8 @@ var emptyNode = treeNode{minIdx: -1, maxEligIdx: -1}
 // combine merges the aggregates of a left and right sibling. Left wins
 // min-load ties, which is what preserves the scans' lowest-index
 // tie-breaking exactly.
+//
+//apcvet:noalloc
 func combine(a, b treeNode) treeNode {
 	n := treeNode{
 		eligCnt:     a.eligCnt + b.eligCnt,
@@ -99,6 +101,8 @@ func (t *memberTree) build(members []*member) {
 }
 
 // leafFor derives member idx's leaf from its current routing state.
+//
+//apcvet:noalloc
 func leafFor(m *member, idx int) treeNode {
 	if !m.eligible() {
 		return emptyNode
@@ -124,6 +128,8 @@ func leafFor(m *member, idx int) treeNode {
 // combine unrolled onto pointers — the tree is written on every load
 // change (twice per request), so the root path must not copy 56-byte
 // nodes through a call boundary the way query's combine does.
+//
+//apcvet:noalloc
 func (t *memberTree) update(idx int) {
 	i := t.base + idx
 	t.nodes[i] = leafFor(t.members[idx], idx)
@@ -152,9 +158,13 @@ func (t *memberTree) update(idx int) {
 }
 
 // root returns the whole-fleet aggregate.
+//
+//apcvet:noalloc
 func (t *memberTree) root() treeNode { return t.nodes[1] }
 
 // query returns the combined aggregate over the index range [lo, hi).
+//
+//apcvet:noalloc
 func (t *memberTree) query(lo, hi int) treeNode {
 	if lo < 0 {
 		lo = 0
@@ -182,6 +192,8 @@ func (t *memberTree) query(lo, hi int) treeNode {
 // firstSpare returns the lowest index in [lo, hi) whose member is
 // eligible with load < cap, or -1 — the tree form of the power_aware
 // first-fit scan.
+//
+//apcvet:noalloc
 func (t *memberTree) firstSpare(lo, hi int) int {
 	return t.first(lo, hi, func(n treeNode) bool { return n.hasSpare })
 }
@@ -189,12 +201,16 @@ func (t *memberTree) firstSpare(lo, hi int) int {
 // firstActSpare returns the lowest index in [lo, hi) whose member is
 // eligible with 0 < load < cap, or -1 — the already-active preference of
 // the rack packer.
+//
+//apcvet:noalloc
 func (t *memberTree) firstActSpare(lo, hi int) int {
 	return t.first(lo, hi, func(n treeNode) bool { return n.hasActSpare })
 }
 
 // first descends left-first for the lowest index in [lo, hi) whose leaf
 // satisfies pred, pruning subtrees whose aggregate does not.
+//
+//apcvet:noalloc
 func (t *memberTree) first(lo, hi int, pred func(treeNode) bool) int {
 	if hi > t.base {
 		hi = t.base
@@ -208,6 +224,7 @@ func (t *memberTree) first(lo, hi int, pred func(treeNode) bool) int {
 	return t.firstIn(1, 0, t.base, lo, hi, pred)
 }
 
+//apcvet:noalloc
 func (t *memberTree) firstIn(node, nodeLo, nodeHi, lo, hi int, pred func(treeNode) bool) int {
 	if nodeHi <= lo || hi <= nodeLo || !pred(t.nodes[node]) {
 		return -1
@@ -245,6 +262,8 @@ type memberAgg struct {
 }
 
 // computeAgg derives the member's current contribution.
+//
+//apcvet:noalloc
 func (m *member) computeAgg() memberAgg {
 	a := memberAgg{alive: m.alive(), load: m.load, capacity: m.cap}
 	if m.cores > a.capacity {
@@ -263,6 +282,8 @@ func (m *member) computeAgg() memberAgg {
 // flags) into the tree, its rack's counters, and the fleet-wide alive
 // counters. It must run after every such change and before the next
 // policy decision.
+//
+//apcvet:noalloc
 func (f *Fleet) touch(m *member) {
 	old := m.agg
 	neu := m.computeAgg()
@@ -308,6 +329,7 @@ func (f *Fleet) initTree() {
 	}
 }
 
+//apcvet:noalloc
 func b2i(b bool) int {
 	if b {
 		return 1

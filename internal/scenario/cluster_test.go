@@ -255,3 +255,24 @@ func TestClusterValidation(t *testing.T) {
 		t.Errorf("Run should reject out-of-range override index, got %v", err)
 	}
 }
+
+// TestOverridesValidateReportsFirstDeclaredField locks the validation
+// error's determinism: with several negative knobs, the one reported
+// follows Overrides' declared field order on every run (the loop
+// iterates a slice, not a map — the apcvet determinism pass rejects
+// error text born from map iteration).
+func TestOverridesValidateReportsFirstDeclaredField(t *testing.T) {
+	bad := -1.0
+	o := Overrides{
+		NetworkLatencyUS: &bad,
+		KernelOverheadUS: &bad,
+		TickKernelUS:     &bad,
+	}
+	err := o.validate()
+	if err == nil {
+		t.Fatal("negative overrides must not validate")
+	}
+	if want := "server.network_latency_us"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("validate reported %q; want the first declared field (%q)", err, want)
+	}
+}

@@ -3,7 +3,9 @@ package scenario
 import (
 	"fmt"
 	"io"
+	"maps"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -248,7 +250,7 @@ func (s *Scenario) validateClusterPoint(kind soc.ConfigKind) error {
 	if r := s.Cluster.Racks; r > 1 && n%r != 0 {
 		return fmt.Errorf("cluster.racks %d does not divide %d servers into equal racks", r, n)
 	}
-	for key := range s.Cluster.ServerOverrides {
+	for _, key := range slices.Sorted(maps.Keys(s.Cluster.ServerOverrides)) {
 		if idx, _ := strconv.Atoi(key); idx >= n {
 			return fmt.Errorf("cluster.server_overrides[%s]: fleet has only %d servers", key, n)
 		}
@@ -273,7 +275,7 @@ func (s *Scenario) validateTieredPoint(kind soc.ConfigKind) error {
 		if r := t.Racks; r > 1 && n%r != 0 {
 			return fmt.Errorf("tiers[%d].racks %d does not divide %d servers into equal racks", ti, r, n)
 		}
-		for key := range t.ServerOverrides {
+		for _, key := range slices.Sorted(maps.Keys(t.ServerOverrides)) {
 			if idx, _ := strconv.Atoi(key); idx >= n {
 				return fmt.Errorf("tiers[%d].server_overrides[%s]: tier has only %d servers", ti, key, n)
 			}

@@ -42,8 +42,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"maps"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strconv"
 
@@ -309,16 +311,22 @@ type Overrides struct {
 // reach the engine (negative durations panic the scheduler; negative
 // latencies silently corrupt histograms).
 func (o Overrides) validate() error {
-	for name, v := range map[string]*float64{
-		"network_latency_us": o.NetworkLatencyUS,
-		"nic_transfer_ns":    o.NICTransferNS,
-		"kernel_overhead_us": o.KernelOverheadUS,
-		"batch_epoch_us":     o.BatchEpochUS,
-		"timer_tick_hz":      o.TimerTickHz,
-		"tick_kernel_us":     o.TickKernelUS,
+	// Declared order, not a map walk: with several negative knobs the
+	// reported one must be the same on every run (the determinism
+	// pass rejects error text born from map iteration).
+	for _, kv := range []struct {
+		name string
+		v    *float64
+	}{
+		{"network_latency_us", o.NetworkLatencyUS},
+		{"nic_transfer_ns", o.NICTransferNS},
+		{"kernel_overhead_us", o.KernelOverheadUS},
+		{"batch_epoch_us", o.BatchEpochUS},
+		{"timer_tick_hz", o.TimerTickHz},
+		{"tick_kernel_us", o.TickKernelUS},
 	} {
-		if v != nil && *v < 0 {
-			return fmt.Errorf("server.%s must not be negative (got %g)", name, *v)
+		if kv.v != nil && *kv.v < 0 {
+			return fmt.Errorf("server.%s must not be negative (got %g)", kv.name, *kv.v)
 		}
 	}
 	return nil
@@ -436,6 +444,7 @@ var workloadAxes = map[string]map[string]bool{
 // Axes returns the supported sweep axis names, sorted.
 func Axes() []string {
 	out := make([]string, 0, len(knownAxes))
+	//apcvet:ordered the keys are sorted below before anything observes them
 	for a := range knownAxes {
 		out = append(out, a)
 	}
@@ -703,12 +712,12 @@ func (s *Scenario) validateClusterBlock(c *Cluster, sweepAxis, label string) err
 	if sweepAxis == AxisTorLatency && c.Racks <= 1 {
 		return fmt.Errorf("scenario %q: the %s axis needs cluster.racks > 1 — a flat fleet pays no ToR hop", s.Name, AxisTorLatency)
 	}
-	for key, ov := range c.ServerOverrides {
+	for _, key := range slices.Sorted(maps.Keys(c.ServerOverrides)) {
 		idx, err := strconv.Atoi(key)
 		if err != nil || idx < 0 {
 			return fmt.Errorf("scenario %q: %s.server_overrides key %q is not a server index", s.Name, label, key)
 		}
-		if err := ov.validate(); err != nil {
+		if err := c.ServerOverrides[key].validate(); err != nil {
 			return fmt.Errorf("scenario %q: server_overrides[%s]: %w", s.Name, key, err)
 		}
 	}
@@ -729,15 +738,20 @@ func (s *Scenario) validateFaultsBlock(c *Cluster, sweepAxis, label string) erro
 		}
 		return nil
 	}
-	for name, v := range map[string]float64{
-		"mtbf_us": fc.MTBFUS, "mttr_us": fc.MTTRUS,
-		"brownout_mtbf_us": fc.BrownoutMTBFUS, "brownout_duration_us": fc.BrownoutDurationUS,
-		"brownout_factor":       fc.BrownoutFactor,
-		"tor_partition_mtbf_us": fc.TorPartitionMTBFUS, "tor_partition_duration_us": fc.TorPartitionDurationUS,
-		"request_timeout_us": fc.RequestTimeoutUS, "hedge_delay_us": fc.HedgeDelayUS,
+	// Declared order (mirrors the FaultConfig field order), so the
+	// first offending knob reported is deterministic.
+	for _, kv := range []struct {
+		name string
+		v    float64
+	}{
+		{"mtbf_us", fc.MTBFUS}, {"mttr_us", fc.MTTRUS},
+		{"brownout_mtbf_us", fc.BrownoutMTBFUS}, {"brownout_duration_us", fc.BrownoutDurationUS},
+		{"brownout_factor", fc.BrownoutFactor},
+		{"tor_partition_mtbf_us", fc.TorPartitionMTBFUS}, {"tor_partition_duration_us", fc.TorPartitionDurationUS},
+		{"request_timeout_us", fc.RequestTimeoutUS}, {"hedge_delay_us", fc.HedgeDelayUS},
 	} {
-		if v < 0 {
-			return fmt.Errorf("scenario %q: negative %s.faults.%s", s.Name, label, name)
+		if kv.v < 0 {
+			return fmt.Errorf("scenario %q: negative %s.faults.%s", s.Name, label, kv.name)
 		}
 	}
 	if fc.MaxRetries < 0 {

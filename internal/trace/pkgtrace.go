@@ -113,10 +113,18 @@ func (t *PkgTracer) Summary() string {
 		f float64
 	}
 	var rows []row
+	//apcvet:ordered the sort below totally orders rows (share desc, state asc on ties)
 	for s := range t.residency {
 		rows = append(rows, row{s, t.ResidencyFraction(s)})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].f > rows[j].f })
+	// Tie-break equal shares by state so the rendering never inherits
+	// map iteration order (two states at 0.00% are common).
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].f != rows[j].f {
+			return rows[i].f > rows[j].f
+		}
+		return rows[i].s < rows[j].s
+	})
 	var b strings.Builder
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%s=%.2f%% ", r.s, r.f*100)

@@ -58,6 +58,8 @@ func (p *PushSource) Start(until sim.Time) {}
 func (p *PushSource) Stop() {}
 
 // Generated returns how many requests have been emitted.
+//
+//apcvet:noalloc
 func (p *PushSource) Generated() uint64 { return p.nextID }
 
 // Emit injects one request into the sink at the current engine time on
@@ -66,6 +68,8 @@ func (p *PushSource) Generated() uint64 { return p.nextID }
 // resolve (and Release) the request synchronously — shed under
 // overload, for instance — so callers must use the returned ID, never
 // the request pointer.
+//
+//apcvet:noalloc
 func (p *PushSource) Emit(conn int) uint64 {
 	svc := p.spec.Service.Sample(p.rng)
 	var req *Request
@@ -73,7 +77,7 @@ func (p *PushSource) Emit(conn int) uint64 {
 		req = p.free[n-1]
 		p.free = p.free[:n-1]
 	} else {
-		req = new(Request)
+		req = new(Request) //apcvet:alloc pool miss: warm-up until the free list reaches steady-state depth
 	}
 	id := p.nextID
 	*req = Request{
@@ -90,6 +94,9 @@ func (p *PushSource) Emit(conn int) uint64 {
 
 // Release hands a request back for reuse by a later Emit, making
 // steady-state emission allocation-free.
+//
+//apcvet:poolput
+//apcvet:noalloc
 func (p *PushSource) Release(req *Request) {
 	p.free = append(p.free, req)
 }

@@ -174,4 +174,6 @@ func (d traceService) String() string { return fmt.Sprintf("trace(mean=%g)", d.m
 
 // validTS rejects u64 timestamp/duration fields whose value cannot be a
 // sim.Time (negative after the int64 conversion).
+//
+//apcvet:noalloc
 func validTS(v uint64) bool { return v <= math.MaxInt64 }

@@ -123,23 +123,27 @@ func (r *Reader) Header() Header { return r.hdr }
 func (r *Reader) Read() uint64 { return r.read }
 
 // offset returns the byte offset of the next (unconsumed) record.
+//
+//apcvet:noalloc
 func (r *Reader) offset() int64 { return r.dataOff + int64(r.read)*RecordSize }
 
 // Peek decodes the next record without consuming it. At the end of the
 // stream it verifies the count, the checksum and that no trailing
 // bytes follow, then returns io.EOF (and keeps returning it). Any
 // malformation returns a located *FormatError.
+//
+//apcvet:noalloc
 func (r *Reader) Peek() (Record, error) {
 	if r.done {
 		return Record{}, io.EOF
 	}
 	if r.read == r.hdr.Count {
-		return Record{}, r.finish()
+		return Record{}, r.finish() //apcvet:alloc end-of-stream verification: once per trace, not per record
 	}
 	buf, err := r.br.Peek(RecordSize)
 	if err != nil {
-		return Record{}, recordErr(r.offset(), int64(r.read),
-			"truncated record (%d of %d declared): %v", r.read, r.hdr.Count, err)
+		//apcvet:alloc cold error path: a truncated trace aborts the run
+		return Record{}, recordErr(r.offset(), int64(r.read), "truncated record (%d of %d declared): %v", r.read, r.hdr.Count, err)
 	}
 	rec, err := r.decode(buf)
 	if err != nil {
@@ -150,6 +154,8 @@ func (r *Reader) Peek() (Record, error) {
 
 // Next consumes and returns the next record, folding its bytes into
 // the incremental checksum. Errors are exactly Peek's.
+//
+//apcvet:noalloc
 func (r *Reader) Next() (Record, error) {
 	rec, err := r.Peek()
 	if err != nil {
@@ -158,6 +164,7 @@ func (r *Reader) Next() (Record, error) {
 	buf, _ := r.br.Peek(RecordSize) // cannot fail: Peek above succeeded
 	r.crc = crc64.Update(r.crc, crcTable, buf)
 	if _, err := r.br.Discard(RecordSize); err != nil {
+		//apcvet:alloc cold error path: a corrupt trace aborts the run
 		return Record{}, recordErr(r.offset(), int64(r.read), "discard: %v", err)
 	}
 	r.prevTS = rec.TS
@@ -167,15 +174,19 @@ func (r *Reader) Next() (Record, error) {
 
 // decode validates one record's fields against the header and the
 // ordering contract.
+//
+//apcvet:noalloc
 func (r *Reader) decode(buf []byte) (Record, error) {
 	le := binary.LittleEndian
 	off, idx := r.offset(), int64(r.read)
 	ts := le.Uint64(buf[0:8])
 	if !validTS(ts) {
+		//apcvet:alloc cold error path: a corrupt trace aborts the run
 		return Record{}, recordErr(off, idx, "timestamp does not fit a signed time")
 	}
 	svc := le.Uint64(buf[8:16])
 	if !validTS(svc) {
+		//apcvet:alloc cold error path: a corrupt trace aborts the run
 		return Record{}, recordErr(off+8, idx, "service time does not fit a signed duration")
 	}
 	rec := Record{
@@ -186,15 +197,19 @@ func (r *Reader) decode(buf []byte) (Record, error) {
 	}
 	if r.read == 0 {
 		if rec.TS != r.hdr.FirstTS {
+			//apcvet:alloc cold error path: a corrupt trace aborts the run
 			return Record{}, recordErr(off, idx, "first timestamp %d != header first %d", rec.TS, r.hdr.FirstTS)
 		}
 	} else if rec.TS < r.prevTS {
+		//apcvet:alloc cold error path: a corrupt trace aborts the run
 		return Record{}, recordErr(off, idx, "timestamp %d before predecessor %d — records must be ordered", rec.TS, r.prevTS)
 	}
 	if rec.TS > r.hdr.LastTS {
+		//apcvet:alloc cold error path: a corrupt trace aborts the run
 		return Record{}, recordErr(off, idx, "timestamp %d after header last %d", rec.TS, r.hdr.LastTS)
 	}
 	if int64(rec.Conn) >= int64(r.hdr.Connections) {
+		//apcvet:alloc cold error path: a corrupt trace aborts the run
 		return Record{}, recordErr(off+16, idx, "connection %d outside the header's %d", rec.Conn, r.hdr.Connections)
 	}
 	return rec, nil

@@ -119,6 +119,8 @@ func (r *Replay) Bind(eng *sim.Engine, sink func(*workload.Request)) error {
 
 // arrive is the arrival chain: emit the scheduled record unless the
 // window is over, then schedule the next.
+//
+//apcvet:noalloc
 func (r *Replay) arrive() {
 	r.pending = sim.Event{}
 	if r.eng.Now() >= r.stopAt {
@@ -163,6 +165,8 @@ func (r *Replay) Stop() {
 // scheduleNext peeks the next record and schedules the arrival chain at
 // its engine instant, wrapping the trace when looping. The record is
 // not consumed until it emits.
+//
+//apcvet:noalloc
 func (r *Replay) scheduleNext() {
 	for {
 		rec, err := r.rd.Peek()
@@ -170,6 +174,7 @@ func (r *Replay) scheduleNext() {
 			if !r.loop || r.hdr.Count == 0 {
 				return // trace exhausted: the chain simply ends
 			}
+			//apcvet:alloc loop wraparound: once per trace iteration, not per record
 			if rerr := r.rd.Rewind(); rerr != nil {
 				panic(fmt.Sprintf("replay: rewind for loop: %v", rerr))
 			}
@@ -186,6 +191,8 @@ func (r *Replay) scheduleNext() {
 }
 
 // emit consumes the scheduled record and delivers it.
+//
+//apcvet:noalloc
 func (r *Replay) emit() {
 	rec, err := r.rd.Next()
 	if err != nil {
@@ -198,7 +205,7 @@ func (r *Replay) emit() {
 		req = r.free[n-1]
 		r.free = r.free[:n-1]
 	} else {
-		req = new(workload.Request)
+		req = new(workload.Request) //apcvet:alloc pool miss: warm-up until the free list reaches steady-state depth
 	}
 	*req = workload.Request{
 		ID:          r.nextID,
@@ -214,6 +221,9 @@ func (r *Replay) emit() {
 // Release hands a request back for reuse by a later arrival, keeping
 // steady-state replay allocation-free. Same contract as the
 // Generator's: sink only, once per request, after last use.
+//
+//apcvet:poolput
+//apcvet:noalloc
 func (r *Replay) Release(req *workload.Request) {
 	r.free = append(r.free, req)
 }
@@ -221,6 +231,8 @@ func (r *Replay) Release(req *workload.Request) {
 // scaleTS maps a stream timestamp through the time scale. Scale 1 is
 // the identity on the integer values — no float round trip — which is
 // what the byte-for-byte replay≡synthetic parity contract relies on.
+//
+//apcvet:noalloc
 func (r *Replay) scaleTS(ts sim.Time) sim.Time {
 	if r.scale == 1 {
 		return ts

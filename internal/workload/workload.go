@@ -18,6 +18,8 @@ import (
 )
 
 // Request is one client request arriving at the server.
+//
+//apcvet:pooled
 type Request struct {
 	// ID is a monotonically increasing sequence number.
 	ID uint64
@@ -239,6 +241,7 @@ func (g *Generator) Stop() {
 	g.pending = sim.Event{}
 }
 
+//apcvet:noalloc
 func (g *Generator) scheduleNext() {
 	gap := g.spec.Arrivals.NextGap(g.rng)
 	d := sim.Duration(gap * float64(sim.Second))
@@ -248,6 +251,7 @@ func (g *Generator) scheduleNext() {
 	g.pending = g.eng.Schedule(d, g.arriveFn)
 }
 
+//apcvet:noalloc
 func (g *Generator) emit() {
 	svc := g.spec.Service.Sample(g.rng)
 	var req *Request
@@ -255,7 +259,7 @@ func (g *Generator) emit() {
 		req = g.free[n-1]
 		g.free = g.free[:n-1]
 	} else {
-		req = new(Request)
+		req = new(Request) //apcvet:alloc pool miss: warm-up until the free list reaches steady-state depth
 	}
 	*req = Request{
 		ID:          g.nextID,
@@ -273,6 +277,9 @@ func (g *Generator) emit() {
 // may call it, once per request, after nothing references the request
 // anymore; sinks that retain requests simply never release them and the
 // generator falls back to allocating.
+//
+//apcvet:poolput
+//apcvet:noalloc
 func (g *Generator) Release(req *Request) {
 	g.free = append(g.free, req)
 }
